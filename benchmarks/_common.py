@@ -1,0 +1,94 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+a comparison block with up to three columns per cell:
+
+* **paper**    — the published number (:mod:`repro.model.paper_values`),
+* **model**    — the analytic cost model evaluated at *paper scale*,
+* **measured** — a real run of this implementation on the scaled dataset.
+
+Scaled runs use the Table I analog datasets at ``REPRO_SCALE`` (default
+2e-5) with memory budgets scaled by the same factor, so pass counts match
+the paper's. Pipeline results are cached per (dataset, preset) because
+several tables read the same runs (II+IV, III+V, VI).
+
+Rendered blocks are printed and also appended to
+``benchmarks/results/<bench>.txt`` so they survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro import Assembler, AssemblyConfig
+from repro.analysis import ComparisonTable
+from repro.config import MemoryConfig
+from repro.core.results import AssemblyResult
+from repro.model.workload import Workload
+from repro.seq.datasets import active_scale, dataset_registry, materialize_dataset
+
+#: Directory for materialized scaled datasets (kept across runs).
+DATA_ROOT = Path(os.environ.get("REPRO_BENCH_DATA",
+                                Path(__file__).parent / ".data"))
+#: Directory where rendered comparison tables are persisted.
+RESULTS_ROOT = Path(__file__).parent / "results"
+
+#: paper-name ↔ registry-name correspondence, in Table I order.
+NAME_BY_PAPER = {
+    "H.Chr 14": "hchr14_sim",
+    "Bumblebee": "bumblebee_sim",
+    "Parakeet": "parakeet_sim",
+    "H.Genome": "hgenome_sim",
+}
+PAPER_ORDER = tuple(NAME_BY_PAPER)
+
+#: Testbed presets: (memory preset, GPU) as in the paper's Tables II/III.
+PRESETS = {"qb2": "K40", "supermic": "K20X"}
+
+
+def scale() -> float:
+    """The active dataset/memory scale factor."""
+    return active_scale()
+
+
+def scaled_memory(preset: str) -> MemoryConfig:
+    """The preset budget scaled down with the datasets."""
+    return MemoryConfig.preset(preset).scaled(scale())
+
+
+def dataset(paper_name: str):
+    """Materialize (or reuse) the scaled analog of one Table I dataset."""
+    return materialize_dataset(NAME_BY_PAPER[paper_name], DATA_ROOT)
+
+
+def workload(paper_name: str) -> Workload:
+    """Paper-scale workload descriptor for the model columns."""
+    return Workload.from_spec(dataset_registry()[NAME_BY_PAPER[paper_name]])
+
+
+@functools.lru_cache(maxsize=None)
+def pipeline_result(paper_name: str, preset: str) -> AssemblyResult:
+    """Run (once) the full pipeline on a scaled dataset under a preset.
+
+    Uses two fingerprint lanes — the paper's 20-byte record — so the scaled
+    disk-pass structure matches Tables II/III.
+    """
+    materialized = dataset(paper_name)
+    config = AssemblyConfig(
+        min_overlap=materialized.spec.min_overlap,
+        memory=scaled_memory(preset),
+        device_name=PRESETS[preset],
+        fingerprint_lanes=2,
+    )
+    return Assembler(config).assemble(materialized.store_path)
+
+
+def emit(bench_name: str, *renderables) -> None:
+    """Print tables/charts (anything with ``.render()``) and persist them
+    under benchmarks/results/."""
+    RESULTS_ROOT.mkdir(parents=True, exist_ok=True)
+    rendered = "\n\n".join(item.render() for item in renderables)
+    print("\n" + rendered)
+    (RESULTS_ROOT / f"{bench_name}.txt").write_text(rendered + "\n")

@@ -1,0 +1,70 @@
+"""Ablation — sequencing noise vs exact-fingerprint overlaps.
+
+LaSAGNA's overlaps are exact matches (the paper evaluates on real Illumina
+data *after* standard preprocessing; its SGA comparison explicitly excludes
+SGA's error-correction stage). This study quantifies what that exactness
+assumption costs as substitution noise rises, and how much the
+k-mer-spectrum corrector (this repo's optional preprocessor) recovers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Assembler, AssemblyConfig
+from repro.analysis import ComparisonTable
+from repro.seq.correction import correct_and_filter
+from repro.seq.packing import PackedReadStore
+from repro.seq.records import ReadBatch
+from repro.seq.simulate import ReadSimulator, simulate_genome
+
+from _common import DATA_ROOT, emit
+
+ERROR_RATES = (0.0, 0.005, 0.01, 0.02)
+
+
+def _assemble(batch: ReadBatch, tmp_path, tag: str):
+    path = tmp_path / f"{tag}.lsgr"
+    with PackedReadStore.create(path, batch.read_length) as store:
+        store.append_batch(batch)
+    return Assembler(AssemblyConfig(min_overlap=30)).assemble(path)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_noise_and_correction(benchmark, tmp_path):
+    genome = simulate_genome(6000, seed=71)
+
+    def run_grid():
+        grid = {}
+        for rate in ERROR_RATES:
+            reads = ReadSimulator(genome=genome, read_length=60, coverage=30.0,
+                                  seed=72, error_rate=rate).all_reads()
+            raw = _assemble(reads, tmp_path, f"raw{rate}")
+            corrected, _, dropped = correct_and_filter(reads, k=17)
+            fixed = _assemble(corrected, tmp_path, f"fix{rate}")
+            grid[rate] = (raw, fixed, dropped)
+        return grid
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        "Ablation - substitution noise vs exact overlaps, with/without correction",
+        ["error rate", "raw N50", "raw edges", "corrected N50",
+         "corrected edges", "reads dropped"],
+    )
+    for rate, (raw, fixed, dropped) in grid.items():
+        table.add_row(f"{rate:.1%}", raw.stats()["n50"],
+                      f"{raw.reduce_report.edges_added:,}",
+                      fixed.stats()["n50"],
+                      f"{fixed.reduce_report.edges_added:,}", dropped)
+    table.add_note("exact-match overlaps degrade sharply with noise; "
+                   "spectrum correction restores clean-level contiguity")
+    emit("ablation_correction", table)
+
+    clean_n50 = grid[0.0][0].stats()["n50"]
+    # Raw assembly collapses with noise...
+    assert grid[0.02][0].stats()["n50"] < 0.5 * clean_n50
+    # ...and correction restores most of it at moderate noise.
+    assert grid[0.01][1].stats()["n50"] > 0.6 * clean_n50
+    # Monotone damage on the raw side.
+    raw_n50s = [grid[r][0].stats()["n50"] for r in ERROR_RATES]
+    assert raw_n50s[0] >= raw_n50s[1] >= raw_n50s[3]

@@ -1,0 +1,55 @@
+"""Ablation — GPUs per node vs nodes: where does the time actually go?
+
+The paper scales *out* (more nodes, §III.E) rather than *up* (more GPUs per
+node) "for exploiting a higher aggregate I/O bandwidth". This study puts
+numbers to that choice at paper scale: adding GPUs to one node divides only
+the kernel+PCIe component and saturates hard at the shared-disk bound,
+while adding nodes divides the disk stream too.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonTable
+from repro.config import MemoryConfig
+from repro.model import (model_distributed_seconds, model_multi_gpu_seconds,
+                         model_phase_components)
+from repro.units import format_duration
+
+from _common import emit, workload
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_multi_gpu_vs_multi_node(benchmark):
+    w = workload("H.Genome")
+    memory = MemoryConfig.preset("supermic")
+
+    def evaluate():
+        gpus = {n: model_multi_gpu_seconds(w, memory, "K20X", n)["total"]
+                for n in (1, 2, 4, 8)}
+        nodes = {n: model_distributed_seconds(w, memory, "K20X", n)["total"]
+                 for n in (1, 2, 4, 8)}
+        return gpus, nodes
+
+    gpus, nodes = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    components = model_phase_components(w, memory, "K20X")
+    disk_total = sum(parts["disk"] for parts in components.values())
+    device_total = sum(parts["device"] for parts in components.values())
+
+    table = ComparisonTable(
+        "Ablation - scale up (GPUs/node) vs scale out (nodes), H.Genome @ paper scale",
+        ["parallelism", "1", "2", "4", "8"],
+    )
+    table.add_row("GPUs on one node",
+                  *(format_duration(gpus[n]) for n in (1, 2, 4, 8)))
+    table.add_row("nodes (paper's design)",
+                  *(format_duration(nodes[n]) for n in (1, 2, 4, 8)))
+    table.add_note(f"one node's time splits into disk {format_duration(disk_total)} "
+                   f"(shared) + device {format_duration(device_total)} (divisible)")
+    emit("ablation_multigpu", table)
+
+    # GPUs saturate at the disk floor; nodes keep scaling.
+    assert gpus[8] > disk_total
+    assert gpus[8] / gpus[1] > 0.6            # < 1.7x gain from 8 GPUs
+    assert nodes[8] < 0.45 * nodes[1]         # > 2.2x gain from 8 nodes
+    assert nodes[8] < gpus[8] / 2

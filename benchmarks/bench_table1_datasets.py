@@ -1,0 +1,40 @@
+"""Table I — dataset inventory (paper vs the scaled analogs).
+
+Regenerates the dataset table: published read counts/base counts/sizes next
+to the scaled analogs actually used by the measured benchmark columns.
+The benchmark times dataset materialization (simulation + packing).
+"""
+
+import pytest
+
+from repro.analysis import ComparisonTable
+from repro.model.paper_values import TABLE1
+
+from _common import NAME_BY_PAPER, PAPER_ORDER, dataset, emit, scale
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_inventory(benchmark):
+    materialized = {}
+
+    def build_all():
+        for paper_name in PAPER_ORDER:
+            materialized[paper_name] = dataset(paper_name)
+        return materialized
+
+    benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        f"Table I - datasets (scale factor {scale():g})",
+        ["dataset", "len", "l_min", "paper reads", "paper bases",
+         "scaled reads", "scaled bases"],
+    )
+    for paper_name in PAPER_ORDER:
+        md = materialized[paper_name]
+        row = TABLE1[paper_name]
+        table.add_row(paper_name, row["length"], row["min_overlap"],
+                      f"{row['reads']:,}", f"{row['bases']:,}",
+                      f"{md.n_reads:,}", f"{md.n_bases:,}")
+        assert md.spec.read_length == row["length"]
+    table.add_note("scaled analogs preserve read length, l_min and coverage")
+    emit("table1", table)

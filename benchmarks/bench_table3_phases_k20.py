@@ -1,0 +1,72 @@
+"""Table III — single-node per-phase times, 64 GB host + K20X (6 GB).
+
+The structural claim reproduced here: halving host memory slows the *sort*
+phase, and only for the dataset whose partitions stop fitting in one host
+block (H.Genome gains one merge pass); the other phases are unchanged.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonTable
+from repro.model import model_phase_seconds
+from repro.model.paper_values import TABLE3_K20
+
+from _common import PAPER_ORDER, emit, pipeline_result, scale, workload
+
+PHASES = ("map", "sort", "reduce", "compress", "load", "total")
+
+
+@pytest.mark.benchmark(group="table3")
+@pytest.mark.parametrize("paper_name", PAPER_ORDER)
+def test_table3_phase_times_k20(benchmark, paper_name):
+    result = benchmark.pedantic(
+        lambda: pipeline_result(paper_name, "supermic"), rounds=1, iterations=1)
+
+    from repro.config import MemoryConfig
+    model = model_phase_seconds(workload(paper_name),
+                                MemoryConfig.preset("supermic"), "K20X")
+    measured = result.phase_seconds()
+    measured["total"] = sum(measured.values())
+
+    table = ComparisonTable(
+        f"Table III - {paper_name} on 64 GB + K20X (scaled x{scale():g})",
+        ["phase", "paper", "model (paper scale)", "measured wall (scaled)"],
+        ["raw", "duration", "duration", "duration"],
+    )
+    for phase in PHASES:
+        table.add_row(phase, TABLE3_K20[paper_name][phase], model[phase],
+                      measured[phase])
+    table.add_note(f"sort disk passes: {result.sort_report.max_disk_passes}")
+    emit(f"table3_{paper_name.replace(' ', '').replace('.', '').lower()}", table)
+
+    # The pass-count crossover (Table II vs III): extra pass for H.Genome only.
+    expected_passes = 2 if paper_name == "H.Genome" else 1
+    assert result.sort_report.max_disk_passes == expected_passes
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sort_slowdown_is_hgenome_only(benchmark):
+    """Cross-table check: sort_64GB / sort_128GB per dataset, measured."""
+    def ratios():
+        out = {}
+        for paper_name in PAPER_ORDER:
+            small = pipeline_result(paper_name, "supermic")
+            big = pipeline_result(paper_name, "qb2")
+            out[paper_name] = (
+                small.telemetry["sort"].sim_seconds
+                / max(big.telemetry["sort"].sim_seconds, 1e-9))
+        return out
+
+    measured = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    table = ComparisonTable(
+        "Table II vs III - modeled sort slowdown from halving host memory",
+        ["dataset", "paper ratio", "measured (sim) ratio"],
+        ["raw", "ratio", "ratio"],
+    )
+    paper_ratio = {"H.Chr 14": 672 / 576, "Bumblebee": 5725 / 4860,
+                   "Parakeet": 20483 / 17876, "H.Genome": 53601 / 39945}
+    for paper_name in PAPER_ORDER:
+        table.add_row(paper_name, paper_ratio[paper_name], measured[paper_name])
+    emit("table3_sort_ratio", table)
+    assert measured["H.Genome"] == max(measured.values())
+    assert measured["H.Genome"] > 1.5

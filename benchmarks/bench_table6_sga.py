@@ -1,0 +1,107 @@
+"""Table VI — LaSAGNA vs SGA (preprocess + index + overlap phases).
+
+Reproduction targets: LaSAGNA wins on every dataset/configuration; SGA hits
+OOM exactly on H.Genome with the 64 GB-analog budget; the speedup factor is
+in the low single digits (paper: 1.89x–3.05x).
+
+The measured columns run both assemblers for real on the scaled datasets
+(the SGA-analog builds a genuine FM index and backward-searches every
+read); the model columns evaluate both sides at paper scale.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import ComparisonTable
+from repro.baselines import SGAAssembler
+from repro.config import MemoryConfig
+from repro.errors import HostMemoryError
+from repro.model.comparison import (model_lasagna_comparable_seconds,
+                                    model_sga_seconds)
+from repro.model.paper_values import TABLE6_SGA, TABLE6_SPEEDUP_RANGE
+
+from _common import (PAPER_ORDER, PRESETS, dataset, emit, pipeline_result,
+                     scale, scaled_memory, workload)
+
+
+def _measured_lasagna_seconds(paper_name: str, preset: str) -> float:
+    """Timed LaSAGNA phases at the default execution budget.
+
+    The scaled-budget runs (Tables II/III) exercise the streaming *structure*
+    (pass counts, peak memory), but at miniature scale their per-batch Python
+    overhead is not representative of throughput; for who-wins timing both
+    systems run at their natural operating point on identical data. The OOM
+    axis of the comparison still uses the scaled host budget (see
+    :func:`_measured_sga_seconds`).
+    """
+    from repro import Assembler, AssemblyConfig
+
+    materialized = dataset(paper_name)
+    config = AssemblyConfig(min_overlap=materialized.spec.min_overlap)
+    result = Assembler(config).assemble(materialized.store_path)
+    return sum(result.phase_seconds()[p] for p in ("load", "map", "sort", "reduce"))
+
+
+def _measured_sga_seconds(paper_name: str, preset: str) -> float | None:
+    materialized = dataset(paper_name)
+    sga = SGAAssembler(min_overlap=materialized.spec.min_overlap,
+                       host_budget_bytes=scaled_memory(preset).host_bytes)
+    with materialized.open_store() as store:
+        batch = store.read_slice(0, store.n_reads)
+    try:
+        start = time.perf_counter()
+        result = sga.assemble(batch)
+        elapsed = time.perf_counter() - start
+        return elapsed - result.phase_seconds.get("assemble", 0.0)
+    except HostMemoryError:
+        return None
+
+
+@pytest.mark.benchmark(group="table6")
+@pytest.mark.parametrize("preset,column", [("supermic", "64"), ("qb2", "128")])
+def test_table6_sga_comparison(benchmark, preset, column):
+    measured = benchmark.pedantic(
+        lambda: {name: (_measured_sga_seconds(name, preset),
+                        _measured_lasagna_seconds(name, preset))
+                 for name in PAPER_ORDER},
+        rounds=1, iterations=1)
+
+    memory = MemoryConfig.preset(preset)
+    device = PRESETS[preset]
+    table = ComparisonTable(
+        f"Table VI - SGA vs LaSAGNA at {memory.host_bytes // 10**9} GB "
+        f"(scaled x{scale():g})",
+        ["dataset", "paper SGA", "paper LaSAGNA", "paper speedup",
+         "model speedup", "measured speedup"],
+        ["raw", "duration", "duration", "ratio", "ratio", "ratio"],
+    )
+    speedups = {}
+    for paper_name in PAPER_ORDER:
+        paper_row = TABLE6_SGA[paper_name]
+        paper_sga = paper_row[f"sga_{column}"]
+        paper_ours = paper_row[f"lasagna_{column}"]
+        w = workload(paper_name)
+        model_sga = model_sga_seconds(w, memory.host_bytes)
+        model_ours = model_lasagna_comparable_seconds(w, memory, device)
+        sga_seconds, ours_seconds = measured[paper_name]
+        speedup = None if sga_seconds is None else sga_seconds / ours_seconds
+        speedups[paper_name] = speedup
+        table.add_row(
+            paper_name, paper_sga, paper_ours,
+            None if paper_sga is None else paper_sga / paper_ours,
+            None if model_sga is None else model_sga / model_ours,
+            speedup)
+    table.add_note(f"paper speedup range: {TABLE6_SPEEDUP_RANGE[0]}x-"
+                   f"{TABLE6_SPEEDUP_RANGE[1]}x; OOM = exceeds host budget")
+    table.add_note("measured timing at natural execution budgets; OOM axis "
+                   "uses the scaled host budget")
+    emit(f"table6_{column}gb", table)
+
+    # Who-wins shape: LaSAGNA faster wherever SGA completes; the OOM cell
+    # appears exactly where the paper reports it.
+    for paper_name in PAPER_ORDER:
+        expected_oom = TABLE6_SGA[paper_name][f"sga_{column}"] is None
+        assert (speedups[paper_name] is None) is expected_oom
+        if speedups[paper_name] is not None:
+            assert speedups[paper_name] > 1.0, paper_name

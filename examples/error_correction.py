@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Noisy reads, error correction, and exact-overlap assembly.
+
+LaSAGNA's fingerprint overlaps are exact: a single substitution error
+destroys every overlap crossing it, so raw Illumina-style noise shatters
+the assembly. The SGA pipeline (whose correction stage the paper's timing
+comparison excludes) fixes reads against the k-mer spectrum first. This
+script runs the full loop: simulate 1% substitution noise, correct + filter
+(`repro.seq.correction`), and assemble each variant with LaSAGNA.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Assembler, AssemblyConfig
+from repro.seq.correction import correct_and_filter
+from repro.seq.packing import PackedReadStore
+from repro.seq.simulate import ReadSimulator, simulate_genome
+
+
+def store_for(batch, path: Path) -> Path:
+    with PackedReadStore.create(path, batch.read_length) as store:
+        store.append_batch(batch)
+    return path
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="lasagna-correction-"))
+    genome = simulate_genome(8000, seed=20)
+    clean = ReadSimulator(genome=genome, read_length=60, coverage=30.0,
+                          seed=21).all_reads()
+    noisy = ReadSimulator(genome=genome, read_length=60, coverage=30.0,
+                          seed=21, error_rate=0.01).all_reads()
+    errors = int((clean.codes != noisy.codes).sum())
+    print(f"{noisy.n_reads:,} reads x 60 bp, {errors:,} simulated "
+          f"substitution errors (1%)\n")
+
+    corrected, report, dropped = correct_and_filter(noisy, k=17)
+    print(f"correction: fixed {report.bases_corrected:,} bases in "
+          f"{report.reads_changed:,} reads "
+          f"(k={report.k}, solid threshold {report.solid_threshold}); "
+          f"dropped {dropped:,} uncorrectable reads")
+
+    config = AssemblyConfig(min_overlap=30)
+    print(f"\n{'reads':<22}{'contigs':>8}{'N50':>7}{'total bp':>10}{'edges':>8}")
+    print("-" * 55)
+    for label, batch in (("noisy (1% errors)", noisy),
+                         ("corrected+filtered", corrected),
+                         ("clean (oracle)", clean)):
+        path = store_for(batch, workdir / f"{label.split()[0]}.lsgr")
+        result = Assembler(config).assemble(path)
+        stats = result.stats()
+        print(f"{label:<22}{stats['n_contigs']:>8}{stats['n50']:>7}"
+              f"{stats['total_bases']:>10,}{result.reduce_report.edges_added:>8,}")
+
+    print("\nExact-overlap assembly collapses under raw noise and is fully"
+          "\nrestored by spectrum correction + filtering.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Out-of-core assembly: watch the two-level streaming model at work.
+
+Assembles the same dataset under three memory regimes — generous,
+host-constrained, and severely constrained — and reports, for each run,
+the external sort's disk passes, total disk traffic, and modeled time.
+The data never has to fit in (virtual) device memory; the pass counts
+grow exactly as the paper's ``1 + log2(n/m_h)`` analysis predicts.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Assembler, AssemblyConfig
+from repro.seq.datasets import tiny_dataset
+from repro.units import format_duration, format_size
+
+
+def run(md, label: str, host_block_pairs: int, device_block_pairs: int):
+    config = AssemblyConfig(min_overlap=31,
+                            host_block_pairs=host_block_pairs,
+                            device_block_pairs=device_block_pairs)
+    result = Assembler(config).assemble(md.store_path)
+    sort_stats = result.telemetry["sort"]
+    print(f"{label:<22} m_h={host_block_pairs:>7,}  m_d={device_block_pairs:>6,}  "
+          f"disk_passes={result.sort_report.max_disk_passes}  "
+          f"sort_io={format_size(sort_stats.counters['disk_read_bytes'] + sort_stats.counters['disk_write_bytes']):>10}  "
+          f"sim_sort={format_duration(sort_stats.sim_seconds):>8}  "
+          f"contigs={result.contigs.n_contigs}")
+    return result
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="lasagna-ooc-"))
+    md, _ = tiny_dataset(root, genome_length=12_000, read_length=64,
+                         coverage=25.0, min_overlap=31, seed=7)
+    partition_records = 2 * md.n_reads
+    print(f"dataset: {md.n_reads:,} reads of 64 bp "
+          f"({partition_records:,} records per length partition)\n")
+
+    generous = run(md, "in-memory (1 pass)", partition_records * 2,
+                   partition_records)
+    two_pass = run(md, "half-partition blocks", partition_records // 2 + 1, 2048)
+    many_pass = run(md, "tiny blocks", partition_records // 8 + 1, 512)
+
+    print("\nEvery run produces equivalent assemblies:")
+    for label, result in (("generous", generous), ("2-pass", two_pass),
+                          ("multi-pass", many_pass)):
+        stats = result.stats()
+        print(f"  {label:<11} N50={stats['n50']:>5}  "
+              f"total={stats['total_bases']:>7,} bp  "
+              f"edges={result.reduce_report.edges_added:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Why string graphs? The repeat-collapse experiment (paper §II.A.1).
+
+De Bruijn assemblers collapse every genomic repeat longer than k into one
+node, shattering contigs there; a string graph keeps whole reads as
+vertices, so repeats shorter than the read length are spanned. This script
+implants exact 30 bp repeats (k=21 < 30 < read length 40) and compares the
+two assemblers with and without them.
+"""
+
+from repro.baselines import DeBruijnAssembler, SGAAssembler
+from repro.seq.simulate import ReadSimulator, simulate_genome
+
+
+def assemble_both(repeat_fraction: float):
+    genome = simulate_genome(5000, seed=13, repeat_fraction=repeat_fraction,
+                             repeat_length=30)
+    reads = ReadSimulator(genome=genome, read_length=40, coverage=30.0,
+                          seed=3).all_reads()
+    debruijn = DeBruijnAssembler(k=21).assemble(reads).stats()
+    string_graph = SGAAssembler(min_overlap=20).assemble(reads).stats()
+    return debruijn, string_graph
+
+
+def main() -> None:
+    print(f"{'genome':<22}{'assembler':<15}{'contigs':>8}{'N50':>7}{'max':>7}")
+    print("-" * 59)
+    for label, fraction in (("repeat-free", 0.0), ("25% exact repeats", 0.25)):
+        debruijn, string_graph = assemble_both(fraction)
+        print(f"{label:<22}{'de Bruijn k=21':<15}"
+              f"{debruijn['n_contigs']:>8}{debruijn['n50']:>7}{debruijn['max_contig']:>7}")
+        print(f"{'':<22}{'string graph':<15}"
+              f"{string_graph['n_contigs']:>8}{string_graph['n50']:>7}"
+              f"{string_graph['max_contig']:>7}")
+
+    print("\nRepeats longer than k collapse the de Bruijn graph's contigs;")
+    print("the string graph (reads as vertices) barely notices them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the offline environment lacks `wheel`, so editable installs
+go through `setup.py develop` (`pip install -e . --no-use-pep517`)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""LaSAGNA reproduction: GPU-accelerated large-scale genome assembly.
+
+A from-scratch Python reproduction of *GPU-Accelerated Large-Scale Genome
+Assembly* (Goswami, Lee, Shams, Park - IPDPS 2018): a string-graph
+assembler built on approximate all-pair overlaps from Rabin-Karp
+fingerprints, running in a two-level semi-streaming memory model
+(disk -> host -> device) over a capacity-enforcing virtual GPU.
+
+Quick start::
+
+    from repro import Assembler, AssemblyConfig
+
+    result = Assembler(AssemblyConfig(min_overlap=25)).assemble("reads.fastq")
+    print(result.summary())
+
+See README.md for the full tour and DESIGN.md for the system map.
+"""
+
+from ._version import __version__
+from .config import AssemblyConfig, MemoryConfig
+from .core import Assembler, AssemblyResult
+from .errors import ReproError
+
+__all__ = [
+    "__version__",
+    "Assembler",
+    "AssemblyConfig",
+    "AssemblyResult",
+    "MemoryConfig",
+    "ReproError",
+]

@@ -1,0 +1,8 @@
+"""Assembly-quality metrics and paper-vs-measured reporting."""
+
+from .ascii_plot import AsciiChart
+from .metrics import contig_accuracy, genome_fraction
+from .reporting import ComparisonTable, format_cell
+
+__all__ = ["AsciiChart", "contig_accuracy", "genome_fraction",
+           "ComparisonTable", "format_cell"]

@@ -1,0 +1,88 @@
+"""Terminal line charts for the figure benchmarks.
+
+The paper's Figs. 8–10 are line plots; the benchmark harness renders the
+regenerated series as monospace charts (one glyph per series) so shapes —
+slopes, crossovers, convergence — are visible directly in the benchmark
+output and in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+GLYPHS = "ox*+#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A multi-series scatter/line chart on a character grid.
+
+    X positions are categorical (one column block per x label); Y is linear
+    or log10. Build with :meth:`add_series`, render with :meth:`render`.
+    """
+
+    title: str
+    x_labels: list[str]
+    y_log: bool = False
+    height: int = 12
+    series: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        """Add one series; must have one value per x label."""
+        if len(values) != len(self.x_labels):
+            raise ConfigError("series length must match x_labels")
+        if len(self.series) >= len(GLYPHS):
+            raise ConfigError("too many series")
+        self.series.append((name, [float(v) for v in values]))
+
+    def _transform(self, value: float) -> float:
+        if self.y_log:
+            if value <= 0:
+                raise ConfigError("log-scale chart requires positive values")
+            return math.log10(value)
+        return value
+
+    def render(self) -> str:
+        """Render the chart plus a legend."""
+        if not self.series:
+            raise ConfigError("no series to plot")
+        transformed = [[self._transform(v) for v in values]
+                       for _, values in self.series]
+        low = min(min(vals) for vals in transformed)
+        high = max(max(vals) for vals in transformed)
+        span = (high - low) or 1.0
+        n_cols = len(self.x_labels)
+        col_width = max(8, max(len(label) for label in self.x_labels) + 2)
+        grid = [[" "] * (n_cols * col_width) for _ in range(self.height)]
+        for series_index, vals in enumerate(transformed):
+            glyph = GLYPHS[series_index]
+            for col, value in enumerate(vals):
+                row = int(round((high - value) / span * (self.height - 1)))
+                x = col * col_width + col_width // 2
+                if grid[row][x] not in (" ", glyph):
+                    grid[row][x] = "!"  # overlapping series
+                else:
+                    grid[row][x] = glyph
+
+        def y_tick(row: int) -> str:
+            value = high - row / (self.height - 1) * span
+            if self.y_log:
+                value = 10 ** value
+            return f"{value:9.3g} |"
+
+        lines = [f"== {self.title} =="]
+        for row in range(self.height):
+            lines.append(y_tick(row) + "".join(grid[row]))
+        lines.append(" " * 10 + "+" + "-" * (n_cols * col_width - 1))
+        axis = " " * 11
+        for label in self.x_labels:
+            axis += label.center(col_width)
+        lines.append(axis)
+        legend = "   ".join(f"{GLYPHS[i]}={name}"
+                            for i, (name, _) in enumerate(self.series))
+        lines.append(f"           {legend}"
+                     + ("   [log y]" if self.y_log else ""))
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Rendering of paper-vs-model-vs-measured comparison tables.
+
+Every benchmark prints one or more :class:`ComparisonTable` blocks so that
+the regenerated rows can be read against the published ones at a glance
+(and EXPERIMENTS.md captures the output verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import format_duration, format_size
+
+
+def format_cell(value, kind: str = "raw") -> str:
+    """Format one table cell: ``duration``, ``size``, ``ratio``, or ``raw``."""
+    if value is None:
+        return "OOM"
+    if kind == "duration":
+        return format_duration(float(value))
+    if kind == "size":
+        return format_size(float(value))
+    if kind == "ratio":
+        return f"{float(value):.2f}x"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ComparisonTable:
+    """A fixed-width text table with a title and typed columns."""
+
+    title: str
+    columns: list[str]
+    kinds: list[str] = field(default_factory=list)
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row (first cell is the label)."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote printed under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        kinds = self.kinds or ["raw"] * len(self.columns)
+        header = [self.columns]
+        body = [
+            [str(row[0])] + [format_cell(cell, kind)
+                             for cell, kind in zip(row[1:], kinds[1:])]
+            for row in self.rows
+        ]
+        widths = [max(len(line[i]) for line in header + body)
+                  for i in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(name.ljust(w) for name, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(cell.rjust(w) if i else cell.ljust(w)
+                                   for i, (cell, w) in enumerate(zip(line, widths))))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table."""
+        print(self.render())

@@ -1,0 +1,131 @@
+"""A greedy-unitig de Bruijn assembler (the contrast baseline).
+
+De Bruijn assemblers collapse every genomic repeat longer than ``k`` into a
+single graph node, breaking contigs there (paper §II.A.1: "prone to
+collapsing repeated regions … causing information loss"). This small
+assembler exists to demonstrate that motivation: on a genome with implanted
+repeats longer than ``k`` but shorter than the read length, its N50 drops
+sharply below the string-graph assembler's
+(``examples/repeat_collapse.py``, ``benchmarks/bench_ablation_greedy.py``).
+
+Nodes are ``(k−1)``-mers, edges are observed ``k``-mers; maximal
+unambiguous paths (unitigs) are spelled as contigs. k-mers are encoded
+2 bits/base into ``uint64`` (``k ≤ 32``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..seq.records import ReadBatch
+from ..seq.stats import assembly_stats
+
+
+def encode_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    """All k-mers of every row of a code matrix, 2-bit packed into uint64."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.ndim != 2:
+        raise ConfigError("encode_kmers expects a (n_reads, L) matrix")
+    n, length = codes.shape
+    if not 2 <= k <= min(32, length):
+        raise ConfigError(f"k must be in [2, min(32, read_length)], got {k}")
+    width = length - k + 1
+    kmers = np.zeros((n, width), dtype=np.uint64)
+    for j in range(k):
+        kmers = (kmers << np.uint64(2)) | codes[:, j:j + width]
+    return kmers.ravel()
+
+
+@dataclass(frozen=True)
+class DeBruijnResult:
+    """Contigs of one de Bruijn assembly (as 2-bit code arrays)."""
+
+    k: int
+    contigs: list[np.ndarray]
+    n_kmers: int
+    n_nodes: int
+
+    def lengths(self) -> np.ndarray:
+        """Per-contig lengths."""
+        return np.array([c.shape[0] for c in self.contigs], dtype=np.int64)
+
+    def stats(self) -> dict[str, int | float]:
+        """Assembly summary statistics."""
+        return assembly_stats(self.lengths())
+
+
+class DeBruijnAssembler:
+    """Build the bidirected-ish de Bruijn graph and spell unitigs."""
+
+    def __init__(self, k: int, *, min_count: int = 1):
+        if min_count < 1:
+            raise ConfigError("min_count must be >= 1")
+        self.k = k
+        self.min_count = min_count
+
+    def assemble(self, batch: ReadBatch, *, include_rc: bool = True) -> DeBruijnResult:
+        """Assemble an in-memory read set into unitigs."""
+        matrices = [batch.codes]
+        if include_rc:
+            matrices.append(batch.reverse_complements().codes)
+        kmers = np.concatenate([encode_kmers(m, self.k) for m in matrices])
+        unique, counts = np.unique(kmers, return_counts=True)
+        unique = unique[counts >= self.min_count]
+        n_kmers = unique.shape[0]
+
+        mask = np.uint64((1 << (2 * (self.k - 1))) - 1)
+        prefixes = unique >> np.uint64(2)
+        suffixes = unique & mask
+        nodes, node_index = np.unique(np.concatenate([prefixes, suffixes]),
+                                      return_inverse=True)
+        src = node_index[:n_kmers]
+        dst = node_index[n_kmers:]
+        out_degree = np.bincount(src, minlength=nodes.shape[0])
+        in_degree = np.bincount(dst, minlength=nodes.shape[0])
+
+        # edge_base[u] is followed only when out_degree[u] == 1 (then unique).
+        edge_base = np.full(nodes.shape[0], -1, dtype=np.int64)
+        edge_base[src] = np.arange(n_kmers)
+
+        k = self.k
+
+        def decode_node(node_id: int) -> np.ndarray:
+            value = int(nodes[node_id])
+            codes = np.empty(k - 1, dtype=np.uint8)
+            for j in range(k - 2, -1, -1):
+                codes[j] = value & 3
+                value >>= 2
+            return codes
+
+        chain_interior = (in_degree == 1) & (out_degree == 1)
+        edge_used = np.zeros(n_kmers, dtype=bool)
+
+        def walk(edge: int) -> np.ndarray:
+            """Spell one unitig starting from ``edge``; marks edges used."""
+            bases = [decode_node(int(src[edge]))]
+            current = edge
+            while True:
+                edge_used[current] = True
+                bases.append(np.array([int(unique[current]) & 3], dtype=np.uint8))
+                nxt_node = int(dst[current])
+                if not chain_interior[nxt_node]:
+                    break
+                nxt_edge = int(edge_base[nxt_node])
+                if nxt_edge < 0 or edge_used[nxt_edge]:
+                    break
+                current = nxt_edge
+            return np.concatenate(bases)
+
+        contigs: list[np.ndarray] = []
+        # Seeds: edges whose source is not an in-1/out-1 chain interior.
+        for edge in range(n_kmers):
+            if not edge_used[edge] and not chain_interior[src[edge]]:
+                contigs.append(walk(edge))
+        # Isolated cycles (all interior): walk any remaining edge.
+        for edge in range(n_kmers):
+            if not edge_used[edge]:
+                contigs.append(walk(edge))
+        return DeBruijnResult(self.k, contigs, n_kmers, nodes.shape[0])

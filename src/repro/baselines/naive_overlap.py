@@ -1,0 +1,77 @@
+"""Exact all-pair suffix–prefix overlaps, the ground-truth oracle.
+
+For every oriented read (vertex) this hashes the *actual bytes* of each
+prefix of length ``l ∈ [l_min, L)`` and probes each suffix against that
+table — the textbook O(n·L²) construction the paper's §III opens with
+("in theory, one can generate all suffixes and prefixes…"). It exists to
+validate the fingerprint pipeline: any candidate edge the pipeline finds
+that this module does not is a fingerprint false positive.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph import GreedyStringGraph
+from ..seq.records import ReadBatch
+
+
+def _oriented_codes(batch: ReadBatch) -> np.ndarray:
+    """(2n, L) matrix: row ``2i`` read ``i`` forward, row ``2i+1`` its RC."""
+    n, length = batch.codes.shape
+    out = np.empty((2 * n, length), dtype=np.uint8)
+    out[0::2] = batch.codes
+    out[1::2] = batch.reverse_complements().codes
+    return out
+
+
+def exact_overlaps(batch: ReadBatch, min_overlap: int,
+                   ) -> list[tuple[int, int, int]]:
+    """All exact overlaps as ``(suffix_vertex, prefix_vertex, length)``.
+
+    Overlap lengths span ``[min_overlap, L)``; same-read pairs are excluded
+    (as the pipeline excludes them). The result is sorted by descending
+    length, then suffix vertex, then prefix vertex — the deterministic order
+    the reduce phase feeds candidates to the greedy rule.
+    """
+    length = batch.read_length
+    if not 1 <= min_overlap < length:
+        raise ConfigError("min_overlap must be in [1, read_length)")
+    oriented = _oriented_codes(batch)
+    n_vertices = oriented.shape[0]
+    overlaps: list[tuple[int, int, int]] = []
+    for l in range(length - 1, min_overlap - 1, -1):
+        prefix_table: dict[bytes, list[int]] = defaultdict(list)
+        for vertex in range(n_vertices):
+            prefix_table[oriented[vertex, :l].tobytes()].append(vertex)
+        for vertex in range(n_vertices):
+            suffix = oriented[vertex, length - l:].tobytes()
+            for target in prefix_table.get(suffix, ()):
+                if (vertex >> 1) != (target >> 1):
+                    overlaps.append((vertex, target, l))
+    return overlaps
+
+
+def greedy_graph_from_overlaps(overlaps: list[tuple[int, int, int]],
+                               n_reads: int, read_length: int) -> GreedyStringGraph:
+    """Feed an exact overlap list through the same greedy rule.
+
+    ``overlaps`` must already be in descending-length order (as
+    :func:`exact_overlaps` returns). The result is the reference graph the
+    pipeline's graph is compared against.
+    """
+    graph = GreedyStringGraph(n_reads, read_length)
+    index = 0
+    while index < len(overlaps):
+        l = overlaps[index][2]
+        stop = index
+        while stop < len(overlaps) and overlaps[stop][2] == l:
+            stop += 1
+        chunk = overlaps[index:stop]
+        graph.add_candidates(np.array([c[0] for c in chunk], dtype=np.int64),
+                             np.array([c[1] for c in chunk], dtype=np.int64), l)
+        index = stop
+    return graph

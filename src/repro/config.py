@@ -1,0 +1,157 @@
+"""Run configuration: memory budgets and assembly parameters.
+
+Two memory configurations appear throughout the paper's evaluation:
+
+* **QB2**  — QueenBee II node: 128 GB host RAM, NVIDIA K40 (12 GB device),
+* **SuperMIC** — 64 GB host RAM, NVIDIA K20X (6 GB device).
+
+:class:`MemoryConfig` captures a host/device budget pair and derives the
+block sizes ``m_h`` (key–value pairs that fit in host memory) and ``m_d``
+(pairs that fit in device memory) that drive the two-level streaming model.
+Budgets can be scaled down by the same factor as the datasets so that *pass
+counts* — the quantity the paper's Tables II/III hinge on — are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+from .units import parse_size
+
+#: Fraction of each memory budget usable as sort/merge KV buffers. The
+#: remainder models framework overhead (CUDA context, program state); the
+#: paper similarly reports device memory "fully utilized" at a fixed
+#: per-phase allocation below the physical capacity. 0.85 is calibrated so
+#: that, with the sort footprint divisors of :mod:`repro.extmem.sort`, the
+#: paper's pass counts reproduce: an H.Genome partition (2.5 G × 20-byte
+#: records) sorts in one disk pass on the 128 GB host but needs one merge
+#: round on the 64 GB host (Tables II vs III).
+DEFAULT_BUFFER_FRACTION = 0.85
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Host and device memory budgets for one run.
+
+    ``buffer_fraction`` is the share of each budget available to key–value
+    buffers; :meth:`host_pairs`/:meth:`device_pairs` convert budgets into the
+    paper's ``m_h``/``m_d`` block sizes for a given record width.
+    """
+
+    host_bytes: int
+    device_bytes: int
+    buffer_fraction: float = DEFAULT_BUFFER_FRACTION
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.host_bytes <= 0 or self.device_bytes <= 0:
+            raise ConfigError("memory budgets must be positive")
+        if not 0.0 < self.buffer_fraction <= 1.0:
+            raise ConfigError("buffer_fraction must be in (0, 1]")
+        if self.device_bytes > self.host_bytes:
+            raise ConfigError("device memory cannot exceed host memory")
+
+    @staticmethod
+    def preset(name: str) -> "MemoryConfig":
+        """Return a named testbed configuration from the paper.
+
+        ``qb2``: 128 GB host + 12 GB device (K40).
+        ``supermic``: 64 GB host + 6 GB device (K20X).
+        """
+        presets = {
+            "qb2": MemoryConfig(parse_size("128 GB"), parse_size("12 GB"), name="qb2"),
+            "supermic": MemoryConfig(parse_size("64 GB"), parse_size("6 GB"), name="supermic"),
+        }
+        try:
+            return presets[name.lower()]
+        except KeyError:
+            raise ConfigError(f"unknown memory preset {name!r}; options: {sorted(presets)}") from None
+
+    def scaled(self, factor: float) -> "MemoryConfig":
+        """Scale both budgets by ``factor`` (used with scaled datasets).
+
+        Scaling budgets and data by the same factor keeps the number of
+        sort/merge disk passes identical to the paper-scale run.
+        """
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return replace(
+            self,
+            host_bytes=max(1, int(self.host_bytes * factor)),
+            device_bytes=max(1, int(self.device_bytes * factor)),
+            name=f"{self.name}*{factor:g}",
+        )
+
+    def host_pairs(self, record_nbytes: int) -> int:
+        """``m_h``: key–value pairs fitting in the host buffer budget."""
+        return max(2, int(self.host_bytes * self.buffer_fraction) // record_nbytes)
+
+    def device_pairs(self, record_nbytes: int) -> int:
+        """``m_d``: key–value pairs fitting in the device buffer budget."""
+        return max(2, int(self.device_bytes * self.buffer_fraction) // record_nbytes)
+
+
+@dataclass(frozen=True)
+class AssemblyConfig:
+    """All tunables of the assembly pipeline.
+
+    Parameters
+    ----------
+    min_overlap:
+        ``l_min`` — the smallest suffix/prefix length considered an overlap.
+        The paper uses the SGA-suggested values (63 for 100/101 bp reads,
+        85 for 124 bp, 111 for 150 bp).
+    memory:
+        Host/device budgets; defaults to a laptop-scale budget.
+    device_name:
+        Which :mod:`repro.device.specs` GPU to virtualize (timing model only;
+        capacity comes from ``memory.device_bytes``).
+    fingerprint_lanes:
+        1 → one packed 62-bit key (two 31-bit Rabin–Karp hashes);
+        2 → two packed keys (~124 bits), the analog of the paper's 128-bit
+        fingerprints.
+    map_batch_reads:
+        Reads fingerprinted per kernel launch in the map phase. ``0`` sizes
+        the batch automatically from the device budget.
+    host_block_pairs / device_block_pairs:
+        Explicit ``m_h``/``m_d`` overrides (paper Fig. 8/9 sweeps); ``0``
+        derives them from ``memory``.
+    dedupe_contigs:
+        Drop the reverse-complement twin of each contig (extension; the
+        paper leaves complement duplicates unspecified).
+    seed:
+        Seed for fingerprint parameter choice; fixed for reproducibility.
+    """
+
+    min_overlap: int = 15
+    memory: MemoryConfig = field(
+        default_factory=lambda: MemoryConfig(parse_size("1 GB"), parse_size("96 MB"), name="laptop")
+    )
+    device_name: str = "K40"
+    fingerprint_lanes: int = 1
+    map_batch_reads: int = 0
+    host_block_pairs: int = 0
+    device_block_pairs: int = 0
+    dedupe_contigs: bool = True
+    keep_workdir: bool = False
+    seed: int = 0x1A5A67A
+
+    def __post_init__(self) -> None:
+        if self.min_overlap < 1:
+            raise ConfigError("min_overlap must be >= 1")
+        if self.fingerprint_lanes not in (1, 2):
+            raise ConfigError("fingerprint_lanes must be 1 or 2")
+        if self.map_batch_reads < 0 or self.host_block_pairs < 0 or self.device_block_pairs < 0:
+            raise ConfigError("block/batch overrides must be >= 0 (0 = auto)")
+
+    def with_memory(self, memory: MemoryConfig) -> "AssemblyConfig":
+        """Return a copy using a different memory configuration."""
+        return replace(self, memory=memory)
+
+    def resolved_blocks(self, record_nbytes: int) -> tuple[int, int]:
+        """Resolve ``(m_h, m_d)`` pairs for a record width, honouring overrides."""
+        m_h = self.host_block_pairs or self.memory.host_pairs(record_nbytes)
+        m_d = self.device_block_pairs or self.memory.device_pairs(record_nbytes)
+        m_d = min(m_d, m_h)
+        return max(2, m_h), max(2, m_d)

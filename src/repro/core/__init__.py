@@ -1,0 +1,17 @@
+"""The LaSAGNA assembly pipeline (the paper's primary contribution).
+
+Phases (paper Fig. 4): **load** (FASTQ → packed store) → **map** (fingerprint
+generation + length partitioning) → **sort** (two-level external sort per
+partition) → **reduce** (Algorithm 2 overlap detection + greedy graph) →
+**compress** (path traversal + contig generation).
+
+Entry point: :class:`Assembler` — configure with
+:class:`~repro.config.AssemblyConfig` and call
+:meth:`~repro.core.pipeline.Assembler.assemble`.
+"""
+
+from .context import RunContext
+from .pipeline import Assembler
+from .results import AssemblyResult
+
+__all__ = ["RunContext", "Assembler", "AssemblyResult"]

@@ -1,0 +1,127 @@
+"""Pipeline checkpointing: resume a multi-hour assembly after interruption.
+
+At paper scale a run takes 16+ hours and writes terabytes of intermediate
+state; losing it to a node failure is expensive. The checkpoint manager
+records, in ``<workdir>/state.json``, which phases have completed under
+which configuration/input identity, and archives the reduce phase's graph
+arrays, so a re-run with ``Assembler(...).assemble(source, workdir=...,
+resume=True)``:
+
+* skips **load** when the packed store is complete,
+* skips **map + sort** when every sorted partition file is present,
+* skips **reduce** when the archived graph matches,
+* always re-runs **compress** (cheap, seconds even at paper scale).
+
+A checkpoint is only honoured when the *configuration fingerprint* (every
+assembly-relevant config field plus the input's size/identity) matches —
+otherwise the stale state is discarded and the run starts clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..config import AssemblyConfig
+from ..graph import GreedyStringGraph
+from ..graph.bitvector import PackedBitVector
+
+STATE_FILE = "state.json"
+GRAPH_FILE = "graph.npz"
+
+
+def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
+    """Stable hash of everything that invalidates intermediate state."""
+    payload = asdict(config)
+    payload["memory"] = {
+        "host_bytes": config.memory.host_bytes,
+        "device_bytes": config.memory.device_bytes,
+        "buffer_fraction": config.memory.buffer_fraction,
+    }
+    payload["source"] = source_id
+    del payload["keep_workdir"]
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest()[:16]
+
+
+class CheckpointManager:
+    """Reads and writes the per-workdir phase ledger."""
+
+    def __init__(self, workdir: Path, fingerprint: str):
+        self.workdir = Path(workdir)
+        self.fingerprint = fingerprint
+        self._state = self._load()
+
+    def _load(self) -> dict:
+        path = self.workdir / STATE_FILE
+        if not path.exists():
+            return {"fingerprint": self.fingerprint, "completed": []}
+        try:
+            state = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return {"fingerprint": self.fingerprint, "completed": []}
+        if state.get("fingerprint") != self.fingerprint:
+            # Stale: different config or input. Start clean.
+            return {"fingerprint": self.fingerprint, "completed": []}
+        return state
+
+    def completed(self, phase: str) -> bool:
+        """Whether ``phase`` finished under the current fingerprint."""
+        return phase in self._state["completed"]
+
+    def mark(self, phase: str) -> None:
+        """Record ``phase`` as complete (idempotent, durable)."""
+        if phase not in self._state["completed"]:
+            self._state["completed"].append(phase)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        (self.workdir / STATE_FILE).write_text(json.dumps(self._state))
+
+    def invalidate_from(self, phase: str) -> None:
+        """Drop ``phase`` and everything after it from the ledger."""
+        order = ["load", "map", "sort", "reduce"]
+        if phase in order:
+            keep = order[:order.index(phase)]
+            self._state["completed"] = [p for p in self._state["completed"]
+                                        if p in keep]
+            (self.workdir / STATE_FILE).write_text(json.dumps(self._state))
+
+    # -- graph archival -------------------------------------------------------
+
+    def save_graph(self, graph: GreedyStringGraph) -> None:
+        """Archive the reduce phase's graph arrays."""
+        np.savez(self.workdir / GRAPH_FILE,
+                 target=graph.target,
+                 overlap=graph.overlap,
+                 in_degree=graph.in_degree,
+                 out_bits=np.frombuffer(graph.out_bits.to_bytes(), dtype=np.uint64),
+                 meta=np.array([graph.n_reads, graph.read_length,
+                                graph._n_edges, graph._candidates_seen],
+                               dtype=np.int64))
+
+    def load_graph(self, host_pool=None) -> GreedyStringGraph | None:
+        """Restore the archived graph, or ``None`` if absent/corrupt."""
+        path = self.workdir / GRAPH_FILE
+        if not path.exists():
+            return None
+        try:
+            archive = np.load(path)
+            n_reads, read_length, n_edges, candidates = archive["meta"].tolist()
+        except (OSError, ValueError, KeyError):
+            return None
+        graph = GreedyStringGraph(int(n_reads), int(read_length), host_pool)
+        graph.target = archive["target"]
+        graph.overlap = archive["overlap"]
+        graph.in_degree = archive["in_degree"]
+        graph.out_bits = PackedBitVector(graph.n_vertices,
+                                         archive["out_bits"].copy())
+        graph._n_edges = int(n_edges)
+        graph._candidates_seen = int(candidates)
+        try:
+            graph.check_invariants()
+        except Exception:
+            return None
+        return graph

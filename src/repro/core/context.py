@@ -1,0 +1,59 @@
+"""Shared per-run state: budgets, meters, the virtual device, the clock."""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from ..config import AssemblyConfig
+from ..device import SimClock, VirtualGPU
+from ..device.memory import MemoryPool
+from ..device.specs import DiskSpec, HostSpec
+from ..errors import HostMemoryError
+from ..extmem import IOAccountant
+from ..fingerprint import FingerprintScheme
+from ..telemetry import Telemetry
+
+
+class RunContext:
+    """Everything one pipeline run shares across phases.
+
+    Owns the working directory (a temp dir unless supplied), the simulated
+    clock, the virtual GPU (capacity = the configured device budget), the
+    host memory pool, the disk accountant, and the telemetry registry.
+    """
+
+    def __init__(self, config: AssemblyConfig, *, workdir: str | Path | None = None,
+                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+        self.config = config
+        self._owns_workdir = workdir is None
+        self.workdir = Path(tempfile.mkdtemp(prefix="lasagna-")) if workdir is None \
+            else Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.disk = disk if disk is not None else DiskSpec()
+        self.host_spec = host if host is not None else HostSpec()
+        self.clock = SimClock()
+        self.accountant = IOAccountant(self.disk, self.clock)
+        self.gpu = VirtualGPU(config.device_name,
+                              capacity_bytes=config.memory.device_bytes,
+                              clock=self.clock)
+        self.host_pool = MemoryPool("host", config.memory.host_bytes, HostMemoryError)
+        self.scheme = FingerprintScheme(lanes=config.fingerprint_lanes,
+                                        seed=config.seed & 0xFFFF)
+        self.telemetry = Telemetry()
+        self.telemetry.register(self.clock)
+        self.telemetry.register(self.accountant)
+        self.telemetry.register(self.gpu.pool)
+        self.telemetry.register(self.host_pool)
+
+    def charge_host(self, nbytes_touched: int) -> None:
+        """Charge modeled host-side streaming work to the clock."""
+        from ..device import costs
+
+        self.clock.charge("host", costs.host_work_seconds(self.host_spec, nbytes_touched))
+
+    def cleanup(self) -> None:
+        """Remove the working directory if this context created it."""
+        if self._owns_workdir and not self.config.keep_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)

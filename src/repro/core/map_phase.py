@@ -1,0 +1,124 @@
+"""Map phase: fingerprint generation and length partitioning (§III.A).
+
+Batches of reads stream host→device; for each read *and its reverse
+complement* the fingerprints of every prefix and suffix are produced by the
+Hillis–Steele scan kernels of :mod:`repro.fingerprint.scan` (one virtual
+kernel launch per hash lane per direction per orientation). Each
+``(length, fingerprint, vertex)`` tuple is then routed to the per-length
+partition files:
+
+* lengths below ``l_min`` are discarded (too short to be an overlap),
+* length ``l_max`` (whole-read matches) is dropped to avoid self-loops,
+* suffix tuples go to the ``S`` partition of their length, prefixes to ``P``.
+
+The paper materializes the tuples on the GPU, sorts them by length, and
+writes one file per partition; routing by direct slicing (column ``l`` of
+the fingerprint matrix *is* the length partition) is the same mapping
+without the intermediate sort, and produces byte-identical partition files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..extmem import PartitionStore
+from ..extmem.records import kv_dtype, make_records
+from ..seq.alphabet import reverse_complement
+from ..seq.packing import PackedReadStore
+from .context import RunContext
+
+
+@dataclass(frozen=True)
+class MapReport:
+    """What the map phase produced."""
+
+    n_reads: int
+    n_batches: int
+    tuples_written: int
+    lengths: tuple[int, ...]
+
+
+def _auto_batch_reads(ctx: RunContext, read_length: int) -> int:
+    """Largest batch whose device working set fits the device budget.
+
+    Per read and orientation the device holds the code row plus, per hash
+    lane, two ``uint64`` fingerprint rows and the packed key row (prefix and
+    suffix each): ``L · (1 + 8·6·lanes)`` bytes, times 2 orientations.
+    """
+    lanes = ctx.config.fingerprint_lanes
+    per_read = 2 * read_length * (1 + 8 * 6 * lanes)
+    budget = int(ctx.config.memory.device_bytes * ctx.config.memory.buffer_fraction)
+    return max(1, budget // per_read)
+
+
+def overlap_lengths(ctx: RunContext, read_length: int) -> tuple[int, ...]:
+    """The partition lengths ``[l_min, l_max)`` for this run."""
+    l_min = ctx.config.min_overlap
+    if l_min >= read_length:
+        raise ConfigError(
+            f"min_overlap {l_min} must be smaller than the read length {read_length}")
+    return tuple(range(l_min, read_length))
+
+
+def run_map(ctx: RunContext, store: PackedReadStore,
+            partitions: PartitionStore | None = None, *,
+            read_range: tuple[int, int] | None = None,
+            ) -> tuple[PartitionStore, MapReport]:
+    """Fingerprint reads and write the S/P length partitions.
+
+    ``read_range`` restricts the phase to reads ``[start, stop)`` — the unit
+    of work the distributed master hands to a node; by default the whole
+    store is mapped. An existing ``partitions`` store may be passed so a
+    node can accumulate several blocks before finalizing (the caller then
+    owns ``finalize()``); otherwise one is created and finalized here.
+    """
+    read_length = store.read_length
+    lengths = overlap_lengths(ctx, read_length)
+    batch_reads = ctx.config.map_batch_reads or _auto_batch_reads(ctx, read_length)
+
+    dtype = kv_dtype(ctx.config.fingerprint_lanes)
+    caller_owns_store = partitions is not None
+    if partitions is None:
+        partitions = PartitionStore(ctx.workdir / "partitions", dtype, ctx.accountant)
+    lanes = ctx.config.fingerprint_lanes
+    n_batches = 0
+    tuples_written = 0
+    start, stop = read_range if read_range is not None else (0, store.n_reads)
+
+    def batches():
+        for batch_start in range(start, stop, batch_reads):
+            yield store.read_slice(batch_start, min(batch_start + batch_reads, stop))
+
+    for batch in batches():
+        n_batches += 1
+        n = batch.n_reads
+        per_read = 2 * read_length * (1 + 8 * 6 * lanes)
+        with ctx.gpu.scratch(n * per_read, label="map-batch"), \
+                ctx.host_pool.alloc(n * per_read, label="map-host-buffers"):
+            for orientation in (0, 1):
+                codes = batch.codes if orientation == 0 else reverse_complement(batch.codes)
+                if orientation == 1:
+                    ctx.gpu.charge_elementwise(codes.nbytes * 2)
+                vertices = (batch.read_ids.astype(np.uint32) << np.uint32(1)) \
+                    | np.uint32(orientation)
+                # One scan launch per hash lane per direction (Figs. 5-6).
+                prefix_keys, suffix_keys = ctx.scheme.key_matrices(codes)
+                for _ in range(2 * 2 * lanes):
+                    ctx.gpu.charge_scan_kernel(n, read_length)
+                for length in lengths:
+                    prefix_records = make_records(
+                        prefix_keys[0][:, length - 1], vertices,
+                        prefix_keys[1][:, length - 1] if lanes == 2 else None)
+                    suffix_records = make_records(
+                        suffix_keys[0][:, read_length - length], vertices,
+                        suffix_keys[1][:, read_length - length] if lanes == 2 else None)
+                    partitions.append("P", length, prefix_records)
+                    partitions.append("S", length, suffix_records)
+                    tuples_written += 2 * n
+                ctx.gpu.charge_elementwise(2 * n * len(lengths) * dtype.itemsize)
+    if not caller_owns_store:
+        partitions.finalize()
+    return partitions, MapReport(stop - start, n_batches, tuples_written, lengths)

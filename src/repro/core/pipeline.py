@@ -1,0 +1,220 @@
+"""Pipeline orchestration: the :class:`Assembler` facade.
+
+Runs load → map → sort → reduce → compress under per-phase telemetry, with
+one :class:`~repro.core.context.RunContext` carrying the budgets and meters.
+Phase names match the rows of the paper's Tables II/III ("Load", "Map",
+"Sort", "Reduce", "Compress").
+
+With ``resume=True`` (and an explicit ``workdir``) completed phases are
+skipped using the :mod:`~repro.core.checkpoint` ledger — a 16-hour
+paper-scale run interrupted after its sort phase restarts at reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+
+from ..config import AssemblyConfig
+from ..device.specs import DiskSpec, HostSpec
+from ..errors import ConfigError
+from ..extmem import PartitionStore
+from ..extmem.records import kv_dtype
+from ..graph import GreedyStringGraph
+from ..seq.packing import PackedReadStore
+from .checkpoint import CheckpointManager, config_fingerprint
+from .compress_phase import run_compress
+from .context import RunContext
+from .load_phase import run_load
+from .map_phase import MapReport, run_map
+from .reduce_phase import ReduceReport, run_reduce
+from .results import AssemblyResult
+from .sort_phase import SortPhaseReport, run_sort
+from ..extmem.sort import SortReport
+
+#: Canonical phase order, as reported in the paper's tables.
+PHASES = ("load", "map", "sort", "reduce", "compress")
+
+
+def _source_identity(source) -> str:
+    if isinstance(source, PackedReadStore):
+        return f"store:{source.path}:{source.n_reads}:{source.read_length}"
+    path = Path(source)
+    size = path.stat().st_size if path.exists() else -1
+    return f"file:{path}:{size}"
+
+
+class Assembler:
+    """One-stop assembly runner.
+
+    >>> from repro import Assembler, AssemblyConfig
+    >>> result = Assembler(AssemblyConfig(min_overlap=25)).assemble("reads.fastq")
+    """
+
+    def __init__(self, config: AssemblyConfig | None = None, *,
+                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+        self.config = config if config is not None else AssemblyConfig()
+        self.disk = disk
+        self.host = host
+
+    def assemble(self, source: str | Path | PackedReadStore, *,
+                 workdir: str | Path | None = None,
+                 resume: bool = False,
+                 gfa_path: str | Path | None = None) -> AssemblyResult:
+        """Assemble ``source`` (FASTQ path, ``.lsgr`` path, or open store).
+
+        ``resume`` requires an explicit ``workdir`` and continues a prior
+        interrupted run with the same configuration and input. ``gfa_path``
+        additionally exports the string graph and contig paths as GFA 1.0.
+        """
+        if resume and workdir is None:
+            raise ConfigError("resume=True requires an explicit workdir")
+        ctx = RunContext(self.config, workdir=workdir, disk=self.disk,
+                         host=self.host)
+        manager = CheckpointManager(
+            ctx.workdir, config_fingerprint(self.config, _source_identity(source))
+        ) if resume else None
+        try:
+            return self._run(ctx, source, manager, gfa_path)
+        finally:
+            ctx.cleanup()
+
+    # -- phase drivers -------------------------------------------------------
+
+    def _run(self, ctx: RunContext, source, manager: CheckpointManager | None,
+             gfa_path=None) -> AssemblyResult:
+        if manager is not None:
+            self._validate_checkpoints(ctx, manager)
+        with ctx.telemetry.phase("load"):
+            store = self._load(ctx, source, manager)
+        try:
+            with ctx.telemetry.phase("map"):
+                partitions, map_report = self._map(ctx, store, manager)
+            with ctx.telemetry.phase("sort"):
+                sort_report = self._sort(ctx, partitions, manager)
+            with ctx.telemetry.phase("reduce"):
+                graph, reduce_report = self._reduce(ctx, partitions, store, manager)
+            with ctx.telemetry.phase("compress"):
+                contigs, paths = run_compress(ctx, graph, store,
+                                              release_graph=gfa_path is None)
+            if gfa_path is not None:
+                from ..graph.gfa import write_gfa
+
+                write_gfa(gfa_path, graph, paths=paths)
+            graph.release()
+        finally:
+            store.close()
+        return AssemblyResult(
+            config=self.config,
+            n_reads=store.n_reads,
+            read_length=store.read_length,
+            contigs=contigs,
+            telemetry=ctx.telemetry,
+            map_report=map_report,
+            sort_report=sort_report,
+            reduce_report=reduce_report,
+            n_paths=paths.n_paths,
+            paths=paths,
+        )
+
+    def _validate_checkpoints(self, ctx: RunContext,
+                              manager: CheckpointManager) -> None:
+        """Cross-check the ledger against the files actually on disk.
+
+        The sort phase consumes the map phase's partition files, so a
+        missing *sorted* run cannot be regenerated from a "map complete"
+        checkpoint unless its unsorted input still exists — in that case
+        the invalidation must cascade back to map.
+        """
+        dtype = kv_dtype(ctx.config.fingerprint_lanes)
+        partitions = PartitionStore(ctx.workdir / "partitions", dtype, None)
+        saved_map = manager._state.get("map_report")
+        lengths = saved_map["lengths"] if saved_map else []
+        if manager.completed("sort"):
+            sorted_complete = all(
+                partitions.path(side, length, sorted_run=True).exists()
+                for length in lengths for side in ("S", "P"))
+            if not sorted_complete:
+                manager.invalidate_from("sort")
+        if manager.completed("map") and not manager.completed("sort"):
+            inputs_available = all(
+                partitions.path(side, length).exists()
+                or partitions.path(side, length, sorted_run=True).exists()
+                for length in lengths for side in ("S", "P"))
+            if not inputs_available:
+                manager.invalidate_from("map")
+
+    def _load(self, ctx: RunContext, source, manager) -> PackedReadStore:
+        store_path = ctx.workdir / "reads.lsgr"
+        if manager is not None and manager.completed("load") and store_path.exists():
+            return PackedReadStore.open(store_path, ctx.accountant)
+        store = run_load(ctx, source)
+        if manager is not None:
+            manager.mark("load")
+        return store
+
+    def _map(self, ctx: RunContext, store: PackedReadStore, manager,
+             ) -> tuple[PartitionStore, MapReport]:
+        dtype = kv_dtype(ctx.config.fingerprint_lanes)
+        if manager is not None and manager.completed("map"):
+            saved = manager._state.get("map_report")
+            partitions = PartitionStore(ctx.workdir / "partitions", dtype,
+                                        ctx.accountant)
+            if saved is not None:
+                return partitions, MapReport(saved["n_reads"], saved["n_batches"],
+                                             saved["tuples_written"],
+                                             tuple(saved["lengths"]))
+        partitions, report = run_map(ctx, store)
+        if manager is not None:
+            manager._state["map_report"] = {
+                "n_reads": report.n_reads, "n_batches": report.n_batches,
+                "tuples_written": report.tuples_written,
+                "lengths": list(report.lengths),
+            }
+            manager.mark("map")
+        return partitions, report
+
+    def _sort(self, ctx: RunContext, partitions: PartitionStore, manager,
+              ) -> SortPhaseReport:
+        if manager is not None and manager.completed("sort"):
+            saved = manager._state.get("sort_report", {})
+            reports = {}
+            complete = True
+            for key, values in saved.items():
+                side, length = key.split(":")
+                if not partitions.path(side, int(length), sorted_run=True).exists():
+                    complete = False
+                    break
+                reports[(side, int(length))] = SortReport(*values)
+            if complete and reports:
+                return SortPhaseReport(reports)
+            manager.invalidate_from("sort")
+        report = run_sort(ctx, partitions)
+        if manager is not None:
+            manager._state["sort_report"] = {
+                f"{side}:{length}": [r.n_records, r.initial_runs, r.merge_rounds]
+                for (side, length), r in report.reports.items()
+            }
+            manager.mark("sort")
+        return report
+
+    def _reduce(self, ctx: RunContext, partitions: PartitionStore,
+                store: PackedReadStore, manager,
+                ) -> tuple[GreedyStringGraph, ReduceReport]:
+        if manager is not None and manager.completed("reduce"):
+            graph = manager.load_graph(ctx.host_pool)
+            saved = manager._state.get("reduce_report")
+            if graph is not None and saved is not None:
+                report = ReduceReport(**{
+                    **saved,
+                    "per_length_edges": {int(k): v for k, v
+                                         in saved["per_length_edges"].items()},
+                })
+                return graph, report
+            manager.invalidate_from("reduce")
+        graph, report = run_reduce(ctx, partitions, store)
+        if manager is not None:
+            manager.save_graph(graph)
+            manager._state["reduce_report"] = asdict(report)
+            manager.mark("reduce")
+        return graph, report

@@ -1,0 +1,56 @@
+"""Sort phase: external sort of every partition by fingerprint (§III.B).
+
+Each ``(side, length)`` partition file is sorted independently through the
+two-level :class:`~repro.extmem.sort.ExternalSorter` — disk blocks of
+``m_h`` records buffered in host memory, device chunks of ``m_d`` records
+sorted/merged on the virtual GPU. The unsorted partition is deleted once
+its sorted counterpart exists (write-only/read-only file discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..extmem import ExternalSorter, PartitionStore
+from ..extmem.sort import SortReport
+from .context import RunContext
+
+
+@dataclass(frozen=True)
+class SortPhaseReport:
+    """Aggregate of all partition sorts."""
+
+    reports: dict[tuple[str, int], SortReport]
+
+    @property
+    def total_records(self) -> int:
+        """Records sorted across all partitions."""
+        return sum(r.n_records for r in self.reports.values())
+
+    @property
+    def max_disk_passes(self) -> int:
+        """Worst-case disk passes over any one partition."""
+        return max((r.disk_passes for r in self.reports.values()), default=0)
+
+
+def make_sorter(ctx: RunContext, dtype) -> ExternalSorter:
+    """Build the external sorter for this run's budgets and record dtype."""
+    m_h, m_d = ctx.config.resolved_blocks(dtype.itemsize)
+    return ExternalSorter(gpu=ctx.gpu, host_pool=ctx.host_pool,
+                          accountant=ctx.accountant, dtype=dtype,
+                          host_block_pairs=m_h, device_block_pairs=m_d)
+
+
+def run_sort(ctx: RunContext, partitions: PartitionStore) -> SortPhaseReport:
+    """Sort every S/P partition in place; returns per-partition reports."""
+    sorter = make_sorter(ctx, partitions.dtype)
+    reports: dict[tuple[str, int], SortReport] = {}
+    for length in partitions.lengths():
+        for side in ("S", "P"):
+            unsorted_path = partitions.path(side, length)
+            if not unsorted_path.exists():
+                continue
+            sorted_path = partitions.path(side, length, sorted_run=True)
+            reports[(side, length)] = sorter.sort_file(unsorted_path, sorted_path)
+            partitions.delete(side, length)
+    return SortPhaseReport(reports)

@@ -1,0 +1,34 @@
+"""Virtual GPU and memory-hierarchy substrate.
+
+The paper's kernels are all data-parallel primitives (radix sort, merge,
+vectorized binary search, scan, gather) running under a hard device-memory
+cap. This package reproduces that environment on a CPU:
+
+* :mod:`repro.device.specs` — hardware catalogs (K20X/K40/P40/P100/V100
+  GPUs, host, disks) with the published capacities/bandwidths,
+* :mod:`repro.device.costs` — the analytic kernel/transfer cost model shared
+  by the runtime and by :mod:`repro.model`,
+* :mod:`repro.device.clock` — the simulated-time accumulator,
+* :mod:`repro.device.memory` — capacity-enforcing allocation pools,
+* :mod:`repro.device.kernels` — the numpy kernel implementations,
+* :mod:`repro.device.gpu` — :class:`VirtualGPU`, the facade the pipeline
+  programs against.
+"""
+
+from .specs import DeviceSpec, DiskSpec, HostSpec, device_catalog, get_device_spec
+from .clock import SimClock
+from .memory import Allocation, MemoryPool
+from .gpu import DeviceArray, VirtualGPU
+
+__all__ = [
+    "DeviceSpec",
+    "DiskSpec",
+    "HostSpec",
+    "device_catalog",
+    "get_device_spec",
+    "SimClock",
+    "Allocation",
+    "MemoryPool",
+    "DeviceArray",
+    "VirtualGPU",
+]

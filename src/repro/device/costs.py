@@ -1,0 +1,121 @@
+"""Analytic cost model for kernels, transfers and disk I/O.
+
+One set of formulas is shared by two consumers:
+
+* :class:`repro.device.gpu.VirtualGPU` charges these costs to its
+  :class:`~repro.device.clock.SimClock` as the pipeline actually executes on
+  scaled data, and
+* :mod:`repro.model` evaluates the same formulas symbolically at paper scale
+  (Table I sizes) to regenerate the paper's tables and figures.
+
+The model is deliberately simple and bandwidth-centric:
+
+* **Radix sort** (Merrill & Grimshaw, the paper's Thrust backend): one pass
+  per key byte, each pass streaming every record ~:data:`RADIX_PASS_ACCESSES`
+  times through device memory.
+* **Merge**: both inputs read, output written, plus one extra pass of
+  overhead for path determination.
+* **Vectorized binary search**: ``log2(n)`` dependent probes per query, each
+  costing a cache-line-sized transaction.
+* **Scan** (Hillis–Steele): ``log2(width)`` passes over the batch.
+* **Transfers**: bytes over the PCIe link; **disk**: bytes over the disk
+  bandwidth plus a seek per sequential stream switch.
+
+A single fudge constant per formula is calibrated in
+``tests/test_model_calibration.py`` against the paper's published end-to-end
+numbers (e.g. H.Genome sort on K40 ≈ 11 h).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .specs import DeviceSpec, DiskSpec, HostSpec
+
+#: Streaming accesses per record per radix-sort pass (read + write + histogram).
+RADIX_PASS_ACCESSES = 3.0
+
+#: Effective fraction of peak memory bandwidth real kernels achieve.
+BANDWIDTH_EFFICIENCY = 0.55
+
+#: Bytes moved per random-access probe (one 32-byte memory transaction).
+PROBE_BYTES = 32.0
+
+#: Extra streamed passes a merge spends beyond reading inputs/writing output.
+MERGE_OVERHEAD_PASSES = 1.0
+
+#: Host-side software efficiency relative to raw memory bandwidth.
+HOST_EFFICIENCY = 0.35
+
+
+def _effective_bw(spec: DeviceSpec) -> float:
+    return spec.mem_bandwidth * BANDWIDTH_EFFICIENCY
+
+
+def sort_pairs_seconds(spec: DeviceSpec, n: int, key_nbytes: int, value_nbytes: int) -> float:
+    """Device LSD radix sort of ``n`` (key, value) records."""
+    if n <= 0:
+        return 0.0
+    passes = max(1, key_nbytes)  # one 8-bit digit per pass
+    record = key_nbytes + value_nbytes
+    return passes * RADIX_PASS_ACCESSES * n * record / _effective_bw(spec)
+
+
+def merge_pairs_seconds(spec: DeviceSpec, n_total: int, key_nbytes: int,
+                        value_nbytes: int) -> float:
+    """Device merge of two sorted runs totalling ``n_total`` records."""
+    if n_total <= 0:
+        return 0.0
+    record = key_nbytes + value_nbytes
+    return (2.0 + MERGE_OVERHEAD_PASSES) * n_total * record / _effective_bw(spec)
+
+
+def search_seconds(spec: DeviceSpec, n_queries: int, n_haystack: int) -> float:
+    """Vectorized lower/upper bound: ``n_queries`` binary searches."""
+    if n_queries <= 0 or n_haystack <= 0:
+        return 0.0
+    probes = max(1.0, math.log2(n_haystack + 1))
+    return n_queries * probes * PROBE_BYTES / _effective_bw(spec)
+
+
+def scan_seconds(spec: DeviceSpec, n_rows: int, width: int, element_nbytes: int = 8) -> float:
+    """Hillis–Steele scan over an ``(n_rows, width)`` batch (fingerprint map)."""
+    if n_rows <= 0 or width <= 0:
+        return 0.0
+    passes = max(1.0, math.ceil(math.log2(width)))
+    return 2.0 * passes * n_rows * width * element_nbytes / _effective_bw(spec)
+
+
+def elementwise_seconds(spec: DeviceSpec, nbytes_touched: int) -> float:
+    """A streaming elementwise/gather kernel touching ``nbytes_touched``."""
+    if nbytes_touched <= 0:
+        return 0.0
+    return nbytes_touched / _effective_bw(spec)
+
+
+def transfer_seconds(spec: DeviceSpec, nbytes: int) -> float:
+    """Host↔device copy over PCIe."""
+    if nbytes <= 0:
+        return 0.0
+    return nbytes / spec.pcie_bandwidth
+
+
+def host_work_seconds(host: HostSpec, nbytes_touched: int) -> float:
+    """Host-side streaming work (graph updates, window bookkeeping)."""
+    if nbytes_touched <= 0:
+        return 0.0
+    return nbytes_touched / (host.mem_bandwidth * HOST_EFFICIENCY)
+
+
+def disk_read_seconds(disk: DiskSpec, nbytes: int, *, seeks: int = 0) -> float:
+    """Sequential disk read plus optional stream-switch seeks."""
+    if nbytes <= 0 and seeks <= 0:
+        return 0.0
+    return max(0, nbytes) / disk.read_bandwidth + seeks * disk.seek_seconds
+
+
+def disk_write_seconds(disk: DiskSpec, nbytes: int, *, seeks: int = 0) -> float:
+    """Sequential disk write plus optional stream-switch seeks."""
+    if nbytes <= 0 and seeks <= 0:
+        return 0.0
+    return max(0, nbytes) / disk.write_bandwidth + seeks * disk.seek_seconds

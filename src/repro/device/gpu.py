@@ -1,0 +1,239 @@
+"""The virtual GPU the pipeline programs against.
+
+:class:`VirtualGPU` binds together
+
+* a :class:`~repro.device.specs.DeviceSpec` (which GPU is being modeled),
+* a capacity-enforcing device :class:`~repro.device.memory.MemoryPool`
+  (exceeding it raises :class:`~repro.errors.DeviceMemoryError`, like a CUDA
+  OOM), and
+* a :class:`~repro.device.clock.SimClock` charged via the shared cost model
+  for every transfer and kernel launch.
+
+Data lives in :class:`DeviceArray` handles. Transfers are explicit
+(:meth:`VirtualGPU.to_device` / :meth:`VirtualGPU.to_host`) so the PCIe
+traffic of the two-level streaming model is visible to the telemetry, and
+kernels only accept device-resident inputs — passing a bare numpy array is
+a programming error, just as dereferencing host memory in a CUDA kernel is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, DeviceMemoryError
+from . import costs, kernels
+from .clock import SimClock
+from .memory import Allocation, MemoryPool
+from .specs import DeviceSpec, get_device_spec
+
+
+class DeviceArray:
+    """A numpy array accounted against a device pool."""
+
+    __slots__ = ("array", "_allocation")
+
+    def __init__(self, array: np.ndarray, allocation: Allocation):
+        self.array = array
+        self._allocation = allocation
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted size in bytes."""
+        return self._allocation.nbytes
+
+    @property
+    def live(self) -> bool:
+        """Whether the backing device allocation is still held."""
+        return self._allocation.live
+
+    def free(self) -> None:
+        """Release device memory (idempotent). The handle must not be reused."""
+        self._allocation.free()
+
+    def __enter__(self) -> "DeviceArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
+
+    def __len__(self) -> int:
+        return self.array.shape[0]
+
+
+class VirtualGPU:
+    """Capacity- and time-accurate stand-in for one CUDA device."""
+
+    def __init__(self, spec: DeviceSpec | str = "K40", *,
+                 capacity_bytes: int | None = None,
+                 clock: SimClock | None = None):
+        self.spec = get_device_spec(spec) if isinstance(spec, str) else spec
+        self.clock = clock if clock is not None else SimClock()
+        self.pool = MemoryPool(
+            "device",
+            capacity_bytes if capacity_bytes is not None else self.spec.mem_bytes,
+            DeviceMemoryError,
+        )
+
+    # -- transfers ----------------------------------------------------------
+
+    def to_device(self, array: np.ndarray, *, label: str = "h2d") -> DeviceArray:
+        """Copy a host array to the device (allocates + charges PCIe time)."""
+        array = np.ascontiguousarray(array)
+        allocation = self.pool.alloc(array.nbytes, label=label)
+        self.clock.charge("h2d", costs.transfer_seconds(self.spec, array.nbytes))
+        return DeviceArray(array.copy(), allocation)
+
+    def to_host(self, darray: DeviceArray) -> np.ndarray:
+        """Copy a device array back to the host (charges PCIe time)."""
+        self._check_live(darray)
+        self.clock.charge("d2h", costs.transfer_seconds(self.spec, darray.array.nbytes))
+        return darray.array.copy()
+
+    def empty(self, shape, dtype, *, label: str = "empty") -> DeviceArray:
+        """Allocate an uninitialized device array (no transfer cost)."""
+        array = np.empty(shape, dtype=dtype)
+        return DeviceArray(array, self.pool.alloc(array.nbytes, label=label))
+
+    def _adopt(self, array: np.ndarray, *, label: str) -> DeviceArray:
+        """Wrap a kernel-produced array as device-resident (alloc only)."""
+        return DeviceArray(array, self.pool.alloc(array.nbytes, label=label))
+
+    @staticmethod
+    def _check_live(*darrays: DeviceArray) -> None:
+        for darray in darrays:
+            if not isinstance(darray, DeviceArray):
+                raise ConfigError("kernel inputs must be DeviceArrays (call to_device first)")
+            if not darray.live:
+                raise DeviceMemoryError("use-after-free of a device array")
+
+    # -- kernels --------------------------------------------------------------
+
+    def sort_pairs(self, keys: DeviceArray, *payloads: DeviceArray
+                   ) -> tuple[DeviceArray, ...]:
+        """Radix-sort records by key; returns new device arrays.
+
+        Accounts ping-pong scratch equal to the input size for the duration
+        of the sort, as an LSD radix sort requires.
+        """
+        self._check_live(keys, *payloads)
+        in_bytes = keys.array.nbytes + sum(p.array.nbytes for p in payloads)
+        with self.pool.alloc(in_bytes, label="sort-scratch"):
+            sorted_keys, sorted_payloads = kernels.sort_records(
+                keys.array, *(p.array for p in payloads))
+        self.clock.charge("kernel", costs.sort_pairs_seconds(
+            self.spec, len(keys), keys.array.dtype.itemsize,
+            sum(p.array.dtype.itemsize for p in payloads)))
+        out = [self._adopt(sorted_keys, label="sort-out")]
+        out.extend(self._adopt(p, label="sort-out") for p in sorted_payloads)
+        return tuple(out)
+
+    def merge_pairs(self, keys_a: DeviceArray, payloads_a: Sequence[DeviceArray],
+                    keys_b: DeviceArray, payloads_b: Sequence[DeviceArray],
+                    ) -> tuple[DeviceArray, ...]:
+        """Merge two sorted runs of records into one (stable, A before B)."""
+        self._check_live(keys_a, keys_b, *payloads_a, *payloads_b)
+        kernels.require_sorted(keys_a.array, context="merge run A")
+        kernels.require_sorted(keys_b.array, context="merge run B")
+        merged_keys, merged_payloads = kernels.merge_sorted_records(
+            keys_a.array, tuple(p.array for p in payloads_a),
+            keys_b.array, tuple(p.array for p in payloads_b))
+        value_bytes = sum(p.array.dtype.itemsize for p in payloads_a)
+        self.clock.charge("kernel", costs.merge_pairs_seconds(
+            self.spec, len(keys_a) + len(keys_b),
+            keys_a.array.dtype.itemsize, value_bytes))
+        out = [self._adopt(merged_keys, label="merge-out")]
+        out.extend(self._adopt(p, label="merge-out") for p in merged_payloads)
+        return tuple(out)
+
+    def bounds(self, haystack: DeviceArray, queries: DeviceArray
+               ) -> tuple[DeviceArray, DeviceArray]:
+        """Vectorized lower/upper bounds of each query key in the haystack."""
+        self._check_live(haystack, queries)
+        kernels.require_sorted(haystack.array, context="bounds haystack")
+        lower, upper = kernels.vectorized_bounds(haystack.array, queries.array)
+        self.clock.charge("kernel", 2.0 * costs.search_seconds(
+            self.spec, len(queries), len(haystack)))
+        return self._adopt(lower, label="bounds"), self._adopt(upper, label="bounds")
+
+    def exclusive_scan(self, values: DeviceArray) -> DeviceArray:
+        """Exclusive prefix sum (offset computation of the compress phase)."""
+        self._check_live(values)
+        result = kernels.exclusive_scan(values.array)
+        width = max(2, len(values))
+        self.clock.charge("kernel", costs.elementwise_seconds(
+            self.spec, int(values.array.nbytes * math.ceil(math.log2(width)))))
+        return self._adopt(result, label="scan")
+
+    def gather(self, source: DeviceArray, stencil: DeviceArray) -> DeviceArray:
+        """``out[i] = source[stencil[i]]``."""
+        self._check_live(source, stencil)
+        result = kernels.gather(source.array, stencil.array)
+        self.clock.charge("kernel", costs.elementwise_seconds(
+            self.spec, result.nbytes + stencil.array.nbytes))
+        return self._adopt(result, label="gather")
+
+    # -- structured-record variants (KV records of the extmem substrate) ------
+
+    @staticmethod
+    def _key_column(records: DeviceArray, key_field: str) -> np.ndarray:
+        names = records.array.dtype.names or ()
+        if key_field not in names:
+            raise ConfigError(f"records lack key field {key_field!r}")
+        return records.array[key_field]
+
+    def sort_records_device(self, records: DeviceArray, *, key_field: str = "key"
+                            ) -> DeviceArray:
+        """Radix-sort packed KV records by their key field."""
+        self._check_live(records)
+        keys = self._key_column(records, key_field)
+        with self.pool.alloc(records.array.nbytes, label="sort-scratch"):
+            order = np.argsort(keys, kind="stable")
+            sorted_records = records.array[order]
+        self.clock.charge("kernel", costs.sort_pairs_seconds(
+            self.spec, len(records), keys.dtype.itemsize,
+            records.array.dtype.itemsize - keys.dtype.itemsize))
+        return self._adopt(sorted_records, label="sort-out")
+
+    def merge_records_device(self, run_a: DeviceArray, run_b: DeviceArray, *,
+                             key_field: str = "key") -> DeviceArray:
+        """Merge two sorted packed-record runs into one sorted run."""
+        self._check_live(run_a, run_b)
+        keys_a = self._key_column(run_a, key_field)
+        keys_b = self._key_column(run_b, key_field)
+        kernels.require_sorted(keys_a, context="merge run A")
+        kernels.require_sorted(keys_b, context="merge run B")
+        _, (merged,) = kernels.merge_sorted_records(
+            keys_a, (run_a.array,), keys_b, (run_b.array,))
+        self.clock.charge("kernel", costs.merge_pairs_seconds(
+            self.spec, len(run_a) + len(run_b), keys_a.dtype.itemsize,
+            run_a.array.dtype.itemsize - keys_a.dtype.itemsize))
+        return self._adopt(merged, label="merge-out")
+
+    def bounds_records(self, haystack: DeviceArray, queries: DeviceArray, *,
+                       key_field: str = "key") -> tuple[DeviceArray, DeviceArray]:
+        """Vectorized bounds of query record keys within haystack record keys."""
+        self._check_live(haystack, queries)
+        hay_keys = self._key_column(haystack, key_field)
+        query_keys = self._key_column(queries, key_field)
+        kernels.require_sorted(hay_keys, context="bounds haystack")
+        lower, upper = kernels.vectorized_bounds(hay_keys, query_keys)
+        self.clock.charge("kernel", 2.0 * costs.search_seconds(
+            self.spec, len(queries), len(haystack)))
+        return self._adopt(lower, label="bounds"), self._adopt(upper, label="bounds")
+
+    # -- escape hatches for composite kernels --------------------------------
+
+    def charge_scan_kernel(self, n_rows: int, width: int) -> None:
+        """Account a Hillis–Steele fingerprint-scan launch (map phase)."""
+        self.clock.charge("kernel", costs.scan_seconds(self.spec, n_rows, width))
+
+    def charge_elementwise(self, nbytes_touched: int) -> None:
+        """Account a custom streaming kernel over ``nbytes_touched``."""
+        self.clock.charge("kernel", costs.elementwise_seconds(self.spec, nbytes_touched))
+
+    def scratch(self, nbytes: int, *, label: str = "scratch") -> Allocation:
+        """Reserve transient device memory for a composite kernel."""
+        return self.pool.alloc(nbytes, label=label)

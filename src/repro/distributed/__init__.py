@@ -1,0 +1,35 @@
+"""Distributed LaSAGNA (§III.E): a simulated multi-node cluster.
+
+The paper distributes the pipeline over GASNet active messages: a master
+load-balances map blocks, nodes shuffle partitions all-to-all into private
+storage, sort locally, and serialize graph building by passing the
+out-degree bit-vector between the nodes that own consecutive length
+partitions. This package reproduces that structure in-process:
+
+* :mod:`repro.distributed.network` — the interconnect model (56 Gb/s IB
+  class) charging per-byte transfer time,
+* :mod:`repro.distributed.message` — the active-message layer (handlers
+  registered per node, request/response with payload accounting),
+* :mod:`repro.distributed.node` — one worker: private storage directory,
+  private budgets, its own virtual GPU and simulated clock,
+* :mod:`repro.distributed.cluster` — the distributed assembler and its
+  phase barriers; produces per-node, per-phase timings (the data behind
+  Fig. 10) and the same contigs a single-node run yields.
+
+Every node's work actually executes (on this process), so the distributed
+pipeline is functionally real; only *time* is simulated, with barriers
+taking the maximum clock across participants.
+"""
+
+from .network import NetworkSpec
+from .message import ActiveMessageLayer
+from .node import WorkerNode
+from .cluster import DistributedAssembler, DistributedResult
+
+__all__ = [
+    "NetworkSpec",
+    "ActiveMessageLayer",
+    "WorkerNode",
+    "DistributedAssembler",
+    "DistributedResult",
+]

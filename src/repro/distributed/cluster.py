@@ -1,0 +1,235 @@
+"""The distributed assembler and its phase barriers (§III.E).
+
+Execution model: every node's work really runs (in this process, against
+its private storage and budgets); *time* comes from each node's simulated
+clock, and a barrier at the end of each phase advances every clock to the
+slowest participant's. The phase timings this produces are the series
+behind Fig. 10:
+
+* **map** — the master hands read blocks to whichever node is least loaded
+  (modeling GASNet work-request messages); scales ~1/n.
+* **shuffle** — all-to-all: each node pulls its owned length partitions
+  from every peer; only exists for n > 1 (the scaling overhead the paper
+  calls out).
+* **sort** — per-node local external sorts; scales ~1/n via aggregate
+  disk bandwidth.
+* **reduce** — overlap finding is parallel per partition owner, but edge
+  insertion is serialized by the out-degree bit-vector token traveling
+  through partitions in descending length order; the critical path follows
+  the paper's ``t_o · p/n + t_g · p`` law.
+* **compress** — on the master, as in the single-node pipeline.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import AssemblyConfig
+from ..core.compress_phase import run_compress
+from ..core.map_phase import overlap_lengths
+from ..core.reduce_phase import (REDUCE_WINDOW_DIVISOR, ReduceReport,
+                                 reduce_partition)
+from ..device.specs import DiskSpec, HostSpec
+from ..errors import ConfigError
+from ..extmem import RunReader
+from ..graph import GreedyStringGraph
+from ..graph.contigs import ContigSet
+from ..seq.packing import PackedReadStore
+from ..seq.stats import assembly_stats
+from .message import ActiveMessageLayer
+from .network import NetworkSpec
+from .node import WorkerNode
+
+#: Map blocks handed out per node on average (load-balancing granularity).
+BLOCKS_PER_NODE = 4
+
+
+@dataclass
+class DistributedResult:
+    """Everything a distributed run reports."""
+
+    n_nodes: int
+    n_reads: int
+    read_length: int
+    contigs: ContigSet
+    phase_seconds: dict[str, float]
+    per_node_seconds: dict[str, list[float]]
+    shuffle_bytes: int
+    reduce_report: ReduceReport
+    edges: int
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Modeled end-to-end time (sum of phase critical paths)."""
+        return sum(self.phase_seconds.values())
+
+    def stats(self) -> dict[str, int | float]:
+        """Assembly summary statistics."""
+        return assembly_stats(self.contigs.lengths())
+
+
+class DistributedAssembler:
+    """Run the pipeline over ``n_nodes`` simulated workers."""
+
+    def __init__(self, config: AssemblyConfig, n_nodes: int, *,
+                 network: NetworkSpec | None = None,
+                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+        if n_nodes < 1:
+            raise ConfigError("n_nodes must be >= 1")
+        self.config = config
+        self.n_nodes = n_nodes
+        self.network = network if network is not None else NetworkSpec()
+        self.disk = disk
+        self.host = host
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _clock_totals(nodes: list[WorkerNode]) -> list[float]:
+        return [node.ctx.clock.total_seconds for node in nodes]
+
+    @staticmethod
+    def _barrier(nodes: list[WorkerNode]) -> None:
+        slowest = max(nodes, key=lambda n: n.ctx.clock.total_seconds)
+        for node in nodes:
+            node.ctx.clock.advance_to(slowest.ctx.clock)
+
+    def _phase_delta(self, nodes: list[WorkerNode], before: list[float],
+                     ) -> tuple[float, list[float]]:
+        per_node = [node.ctx.clock.total_seconds - b
+                    for node, b in zip(nodes, before)]
+        return max(per_node), per_node
+
+    # -- the run -------------------------------------------------------------
+
+    def assemble(self, source: str | Path | PackedReadStore, *,
+                 workdir: str | Path | None = None) -> DistributedResult:
+        """Assemble ``source`` across the simulated cluster."""
+        owns_workdir = workdir is None
+        root = Path(tempfile.mkdtemp(prefix="lasagna-dist-")) if owns_workdir \
+            else Path(workdir)
+        try:
+            return self._assemble(source, root)
+        finally:
+            if owns_workdir:
+                shutil.rmtree(root, ignore_errors=True)
+
+    def _assemble(self, source, root: Path) -> DistributedResult:
+        messages = ActiveMessageLayer(self.network)
+        nodes = [WorkerNode(i, self.config, root, messages,
+                            disk=self.disk, host=self.host)
+                 for i in range(self.n_nodes)]
+        store = source if isinstance(source, PackedReadStore) \
+            else PackedReadStore.open(source)
+        phase_seconds: dict[str, float] = {}
+        per_node_seconds: dict[str, list[float]] = {}
+
+        # -- map: master hands blocks to the least-loaded node ---------------
+        before = self._clock_totals(nodes)
+        n_blocks = max(1, self.n_nodes * BLOCKS_PER_NODE)
+        block_reads = -(-store.n_reads // n_blocks)
+        for start in range(0, store.n_reads, block_reads):
+            worker = min(nodes, key=lambda n: n.ctx.clock.total_seconds)
+            worker.map_block(store, start, min(start + block_reads, store.n_reads))
+        for node in nodes:
+            node.finish_map()
+        phase_seconds["map"], per_node_seconds["map"] = self._phase_delta(nodes, before)
+        self._barrier(nodes)
+
+        # -- shuffle: all-to-all partition aggregation ------------------------
+        before = self._clock_totals(nodes)
+        lengths = list(overlap_lengths(nodes[0].ctx, store.read_length))
+        owner_of = {length: (length - lengths[0]) % self.n_nodes for length in lengths}
+        shuffle_bytes = 0
+        for node in nodes:
+            owned = [length for length in lengths if owner_of[length] == node.node_id]
+            shuffle_bytes += node.pull_owned_partitions(nodes, owned)
+        for node in nodes:
+            node.drop_map_partitions()
+        phase_seconds["shuffle"], per_node_seconds["shuffle"] = \
+            self._phase_delta(nodes, before)
+        self._barrier(nodes)
+
+        # -- sort: local per-node external sorts --------------------------------
+        before = self._clock_totals(nodes)
+        for node in nodes:
+            node.sort_owned()
+        phase_seconds["sort"], per_node_seconds["sort"] = self._phase_delta(nodes, before)
+        self._barrier(nodes)
+
+        # -- reduce: parallel overlap finding, token-serialized edges ------------
+        reduce_result = self._reduce(nodes, store, lengths, owner_of)
+        graph, reduce_report, reduce_time, reduce_per_node = reduce_result
+        phase_seconds["reduce"] = reduce_time
+        per_node_seconds["reduce"] = reduce_per_node
+        self._barrier(nodes)
+
+        # -- compress: on the master --------------------------------------------
+        master = nodes[0]
+        before = self._clock_totals(nodes)
+        contigs, _paths = run_compress(master.ctx, graph, store)
+        phase_seconds["compress"], per_node_seconds["compress"] = \
+            self._phase_delta(nodes, before)
+
+        edges = graph.n_edges
+        graph.release()
+        result = DistributedResult(
+            n_nodes=self.n_nodes,
+            n_reads=store.n_reads,
+            read_length=store.read_length,
+            contigs=contigs,
+            phase_seconds=phase_seconds,
+            per_node_seconds=per_node_seconds,
+            shuffle_bytes=shuffle_bytes,
+            reduce_report=reduce_report,
+            edges=edges,
+            notes={"am_messages": float(messages.messages_sent)},
+        )
+        if not isinstance(source, PackedReadStore):
+            store.close()
+        return result
+
+    def _reduce(self, nodes: list[WorkerNode], store: PackedReadStore,
+                lengths: list[int], owner_of: dict[int, int],
+                ) -> tuple[GreedyStringGraph, ReduceReport, float, list[float]]:
+        """Token-serialized distributed reduce.
+
+        Overlap finding for partition ``l`` happens on its owner and is
+        charged to that node's clock; the greedy edge insertion must hold
+        the bit-vector token, whose timeline is tracked explicitly:
+        ``token_time = max(token_time + transfer, find_done) + t_graph``.
+        """
+        master = nodes[0]
+        graph = GreedyStringGraph(store.n_reads, store.read_length,
+                                  master.ctx.host_pool)
+        report = ReduceReport()
+        before = self._clock_totals(nodes)
+        phase_start = max(before)
+        token_time = phase_start
+        bitvec_transfer = self.network.transfer_seconds(graph.out_bits.nbytes)
+        for length in sorted(lengths, reverse=True):
+            node = nodes[owner_of[length]]
+            s_path = node.shuffled.path("S", length, sorted_run=True)
+            p_path = node.shuffled.path("P", length, sorted_run=True)
+            if not (s_path.exists() and p_path.exists()):
+                continue
+            _, m_d = node.ctx.config.resolved_blocks(node.dtype.itemsize)
+            window = max(1, m_d // REDUCE_WINDOW_DIVISOR)
+            host_before = node.ctx.clock.seconds("host")
+            with RunReader(s_path, node.dtype, node.ctx.accountant) as suffixes, \
+                    RunReader(p_path, node.dtype, node.ctx.accountant) as prefixes:
+                reduce_partition(node.ctx, graph, suffixes, prefixes, length,
+                                 window, report)
+            report.partitions_processed += 1
+            t_graph = node.ctx.clock.seconds("host") - host_before
+            find_done = node.ctx.clock.total_seconds - t_graph
+            token_time = max(token_time + bitvec_transfer, find_done) + t_graph
+        report.edges_added = graph.n_edges
+        reduce_time = token_time - phase_start
+        per_node = [node.ctx.clock.total_seconds - b
+                    for node, b in zip(nodes, before)]
+        return graph, report, max(reduce_time, max(per_node)), per_node

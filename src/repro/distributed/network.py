@@ -1,0 +1,33 @@
+"""Interconnect model for the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point network characteristics.
+
+    Defaults model the paper's SuperMIC interconnect: 56 Gb/s FDR
+    InfiniBand (≈ 7 GB/s payload bandwidth) with microsecond-scale latency.
+    """
+
+    name: str = "infiniband-fdr"
+    bandwidth: float = 7e9  #: bytes/second point-to-point
+    latency_seconds: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency_seconds < 0:
+            raise ConfigError("invalid network parameters")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Modeled time to move ``nbytes`` between two nodes."""
+        return self.latency_seconds + max(0, nbytes) / self.bandwidth
+
+    @staticmethod
+    def ethernet_10g() -> "NetworkSpec":
+        """A slower 10 GbE alternative for sensitivity studies."""
+        return NetworkSpec(name="10gbe", bandwidth=1.1e9, latency_seconds=3e-5)

@@ -1,0 +1,113 @@
+"""One worker of the simulated cluster.
+
+Each worker owns a private storage directory (the paper: "each node also
+has access to private storage for shuffling and sorting intermediate data
+… must not be shared across nodes"), its own memory budgets, virtual GPU
+and simulated clock, and registers active-message handlers for serving its
+map-phase partition pieces during the shuffle.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..config import AssemblyConfig
+from ..core.context import RunContext
+from ..core.map_phase import run_map
+from ..core.sort_phase import run_sort
+from ..device.specs import DiskSpec, HostSpec
+from ..extmem import PartitionStore, RunReader, RunWriter
+from ..extmem.records import kv_dtype
+from ..seq.packing import PackedReadStore
+from .message import ActiveMessageLayer
+
+#: AM handler name for pulling a map-phase partition piece from a peer.
+FETCH_PARTITION = "fetch_partition"
+
+
+class WorkerNode:
+    """Private state + handlers of one cluster node."""
+
+    def __init__(self, node_id: int, config: AssemblyConfig, root: Path,
+                 messages: ActiveMessageLayer, *,
+                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+        self.node_id = node_id
+        self.ctx = RunContext(config, workdir=root / f"node{node_id:02d}",
+                              disk=disk, host=host)
+        self.messages = messages
+        self.dtype = kv_dtype(config.fingerprint_lanes)
+        self.map_partitions = PartitionStore(self.ctx.workdir / "map_parts",
+                                             self.dtype, self.ctx.accountant)
+        self.shuffled = PartitionStore(self.ctx.workdir / "partitions",
+                                       self.dtype, self.ctx.accountant)
+        self.owned_lengths: list[int] = []
+        self.mapped_reads = 0
+        messages.register_node(node_id, self.ctx.clock)
+        messages.register_handler(node_id, FETCH_PARTITION, self._serve_partition)
+
+    # -- map ---------------------------------------------------------------
+
+    def map_block(self, store: PackedReadStore, start: int, stop: int) -> None:
+        """Fingerprint reads ``[start, stop)`` into the local map partitions."""
+        run_map(self.ctx, store, self.map_partitions, read_range=(start, stop))
+        self.mapped_reads += stop - start
+
+    def finish_map(self) -> None:
+        """Close local map-phase partition writers."""
+        self.map_partitions.finalize()
+
+    # -- shuffle ------------------------------------------------------------
+
+    def _serve_partition(self, side: str, length: int) -> tuple[np.ndarray, int]:
+        """AM handler: read one local map partition and return its records."""
+        path = self.map_partitions.path(side, length)
+        if not path.exists():
+            empty = np.empty(0, dtype=self.dtype)
+            return empty, 0
+        with RunReader(path, self.dtype, self.ctx.accountant) as reader:
+            records = reader.read_all()
+        return records, records.nbytes
+
+    def pull_owned_partitions(self, peers: list["WorkerNode"], lengths: list[int],
+                              ) -> int:
+        """Aggregate this node's partitions from every peer (incl. itself).
+
+        Returns the number of bytes pulled over the network.
+        """
+        pulled = 0
+        remote_peers = [peer for peer in peers if peer.node_id != self.node_id]
+        for length in lengths:
+            for side in ("S", "P"):
+                destination = self.shuffled.path(side, length)
+                local_piece = self.map_partitions.path(side, length)
+                if not remote_peers:
+                    # Single node: the data is already in place — rename only.
+                    if local_piece.exists():
+                        local_piece.replace(destination)
+                    continue
+                writer = RunWriter(destination, self.dtype, self.ctx.accountant)
+                try:
+                    for peer in peers:
+                        records = self.messages.request(
+                            self.node_id, peer.node_id, FETCH_PARTITION, side, length)
+                        if records.shape[0]:
+                            writer.append(records)
+                            if peer.node_id != self.node_id:
+                                pulled += records.nbytes
+                finally:
+                    writer.close()
+        self.owned_lengths = sorted(lengths)
+        return pulled
+
+    def drop_map_partitions(self) -> None:
+        """Delete served map-phase files (consumed by the shuffle)."""
+        for path in self.map_partitions.root.glob("*.run"):
+            path.unlink()
+
+    # -- sort ----------------------------------------------------------------
+
+    def sort_owned(self):
+        """Sort every owned shuffled partition with local budgets."""
+        return run_sort(self.ctx, self.shuffled)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the LaSAGNA reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subsystems raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """A device-memory allocation exceeded the virtual GPU's capacity.
+
+    Mirrors a CUDA out-of-memory failure: the virtual device enforces its
+    configured capacity exactly, so pipeline code must chunk its working set
+    the same way the paper's CUDA implementation does.
+    """
+
+
+class HostMemoryError(ReproError, MemoryError):
+    """A host-memory allocation exceeded the configured host budget."""
+
+
+class StreamProtocolError(ReproError):
+    """A read-only/write-only stream was used against its access contract.
+
+    The semi-streaming model (paper Fig. 3) requires that run files are read
+    and written strictly sequentially and never both at once; violations are
+    programming errors and surface as this exception.
+    """
+
+
+class SortContractError(ReproError):
+    """Input to a merge/reduce stage violated its sortedness precondition."""
+
+
+class GraphInvariantError(ReproError):
+    """A string-graph invariant (degree bounds, complement symmetry) broke."""
+
+
+class DatasetError(ReproError):
+    """A dataset descriptor or on-disk dataset artefact is invalid."""
+
+
+class DistributedProtocolError(ReproError):
+    """A node violated the distributed pipeline's message protocol."""

@@ -1,0 +1,36 @@
+"""External-memory substrate: streams, partitions, and the two-level sort.
+
+This package implements the paper's semi-streaming machinery (§III):
+
+* :mod:`repro.extmem.records` — the (fingerprint, read-id) KV record layout,
+* :mod:`repro.extmem.io_stats` — disk accounting + modeled disk time,
+* :mod:`repro.extmem.streams` — sequential read-only / write-only run files
+  (the paper's Fig. 3 memory types),
+* :mod:`repro.extmem.partitions` — the per-overlap-length partition store
+  produced by the map phase,
+* :mod:`repro.extmem.merge` — Algorithm 1 (window-equalized merge of two
+  sorted runs),
+* :mod:`repro.extmem.sort` — the hybrid two-level external sort
+  (disk → host blocks of ``m_h`` → device chunks of ``m_d``).
+"""
+
+from .records import kv_dtype, make_records, record_fields
+from .io_stats import IOAccountant
+from .streams import RunReader, RunWriter
+from .partitions import PartitionStore
+from .merge import merge_runs, merge_in_memory
+from .sort import ExternalSorter, SortReport
+
+__all__ = [
+    "kv_dtype",
+    "make_records",
+    "record_fields",
+    "IOAccountant",
+    "RunReader",
+    "RunWriter",
+    "PartitionStore",
+    "merge_runs",
+    "merge_in_memory",
+    "ExternalSorter",
+    "SortReport",
+]

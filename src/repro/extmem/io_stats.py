@@ -1,0 +1,85 @@
+"""Disk I/O accounting and modeled disk time.
+
+The paper's headline observation is that the pipeline is I/O-bound ("the
+most prominent bottleneck in the pipeline is the I/O throughput"), so every
+byte that crosses the disk boundary is counted here. The accountant is a
+telemetry meter (bytes and operation counts per phase) and, when bound to a
+:class:`~repro.device.clock.SimClock`, charges modeled disk seconds from the
+shared cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..device import costs
+from ..device.clock import SimClock
+from ..device.specs import DiskSpec
+
+
+class IOAccountant:
+    """Counts disk bytes/ops; optionally charges a simulated clock."""
+
+    def __init__(self, disk: DiskSpec | None = None, clock: SimClock | None = None):
+        self.disk = disk if disk is not None else DiskSpec()
+        self.clock = clock
+        self._read_bytes = 0
+        self._write_bytes = 0
+        self._read_ops = 0
+        self._write_ops = 0
+        self._seeks = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def add_read(self, nbytes: int, *, seeks: int = 0) -> None:
+        """Record a sequential read of ``nbytes`` (plus optional seeks)."""
+        self._read_bytes += int(nbytes)
+        self._read_ops += 1
+        self._seeks += seeks
+        if self.clock is not None:
+            self.clock.charge("disk_read", costs.disk_read_seconds(self.disk, nbytes, seeks=seeks))
+
+    def add_write(self, nbytes: int, *, seeks: int = 0) -> None:
+        """Record a sequential write of ``nbytes`` (plus optional seeks)."""
+        self._write_bytes += int(nbytes)
+        self._write_ops += 1
+        self._seeks += seeks
+        if self.clock is not None:
+            self.clock.charge("disk_write", costs.disk_write_seconds(self.disk, nbytes, seeks=seeks))
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def read_bytes(self) -> int:
+        """Total bytes read from disk."""
+        return self._read_bytes
+
+    @property
+    def write_bytes(self) -> int:
+        """Total bytes written to disk."""
+        return self._write_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total disk traffic in both directions."""
+        return self._read_bytes + self._write_bytes
+
+    # -- telemetry Meter protocol -----------------------------------------------
+
+    def counters(self) -> Mapping[str, float]:
+        """Bytes, operations and seeks in both directions."""
+        return {
+            "disk_read_bytes": float(self._read_bytes),
+            "disk_write_bytes": float(self._write_bytes),
+            "disk_read_ops": float(self._read_ops),
+            "disk_write_ops": float(self._write_ops),
+            "disk_seeks": float(self._seeks),
+        }
+
+    def peaks(self) -> Mapping[str, float]:
+        """No gauges: disk traffic only accumulates."""
+        return {}
+
+    def reset_peaks(self) -> None:
+        """No-op (no gauges)."""
+        return None

@@ -1,0 +1,142 @@
+"""Algorithm 1: external-memory merging of two sorted runs.
+
+The merge never random-accesses its inputs. It slides a window of ``M/2``
+records over each run and, per iteration, either
+
+* copies one window straight through when the runs are totally ordered at
+  the window boundary (lines 5–6 of Algorithm 1), or
+* *equalizes* the windows — shrinks the window holding the larger tail key
+  to the upper bound of the smaller tail key (lines 8–15) — and hands the
+  equalized pair to the merge executor (``GPU_MERGE``, line 16).
+
+The same routine is used at both levels of the two-level model:
+disk runs merged through host memory, and host blocks merged through device
+memory; only the chunk *source*, the *emit* sink, and the merge executor
+differ. Output order is always globally sorted; ordering among equal keys
+is not preserved across window boundaries (fingerprints do not need it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..errors import ConfigError
+from .records import KEY_FIELD
+
+MergeFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+EmitFn = Callable[[np.ndarray], None]
+
+
+class ChunkSource(Protocol):
+    """Anything that yields successive record chunks (RunReader, array wrapper)."""
+
+    def read(self, n: int) -> np.ndarray:
+        """Consume up to ``n`` records (empty array at end of stream)."""
+        ...
+
+
+class ArraySource:
+    """A :class:`ChunkSource` over an in-memory record array."""
+
+    def __init__(self, records: np.ndarray):
+        self._records = records
+        self._cursor = 0
+
+    def read(self, n: int) -> np.ndarray:
+        """Consume up to ``n`` records from the array."""
+        chunk = self._records[self._cursor:self._cursor + n]
+        self._cursor += chunk.shape[0]
+        return chunk
+
+
+def merge_streams(source_a: ChunkSource, source_b: ChunkSource, emit: EmitFn, *,
+                  window_records: int, merge_fn: MergeFn,
+                  key_field: str = KEY_FIELD) -> int:
+    """Run Algorithm 1; returns the number of records emitted.
+
+    ``window_records`` is ``M/2`` — the per-run window size; the merge
+    executor therefore never sees more than ``2 * window_records`` records.
+    """
+    if window_records < 1:
+        raise ConfigError("window_records must be >= 1")
+    emitted = 0
+
+    def _emit(records: np.ndarray) -> None:
+        nonlocal emitted
+        if records.shape[0]:
+            emit(records)
+            emitted += records.shape[0]
+
+    empty = source_a.read(0)
+    buf_a = empty
+    buf_b = empty
+    while True:
+        if buf_a.shape[0] < window_records:
+            extra = source_a.read(window_records - buf_a.shape[0])
+            buf_a = extra if buf_a.shape[0] == 0 else np.concatenate([buf_a, extra])
+        if buf_b.shape[0] < window_records:
+            extra = source_b.read(window_records - buf_b.shape[0])
+            buf_b = extra if buf_b.shape[0] == 0 else np.concatenate([buf_b, extra])
+        if buf_a.shape[0] == 0 or buf_b.shape[0] == 0:
+            # Line 19: one run is exhausted; stream the other straight out.
+            _emit(buf_a)
+            _emit(buf_b)
+            survivor = source_a if buf_b.shape[0] == 0 else source_b
+            while True:
+                chunk = survivor.read(window_records)
+                if chunk.shape[0] == 0:
+                    return emitted
+                _emit(chunk)
+        keys_a = buf_a[key_field]
+        keys_b = buf_b[key_field]
+        if keys_a[-1] <= keys_b[0]:  # A ≺ B
+            _emit(buf_a)
+            buf_a = empty
+            continue
+        if keys_b[-1] < keys_a[0]:  # B ≺ A
+            _emit(buf_b)
+            buf_b = empty
+            continue
+        # Equalize windows on the smaller tail key, then merge (lines 8-16).
+        if keys_a[-1] <= keys_b[-1]:
+            boundary = keys_a[-1]
+            rank = int(np.searchsorted(keys_b, boundary, side="right"))
+            _emit(merge_fn(buf_a, buf_b[:rank]))
+            buf_a = empty
+            buf_b = buf_b[rank:]
+        else:
+            boundary = keys_b[-1]
+            rank = int(np.searchsorted(keys_a, boundary, side="right"))
+            _emit(merge_fn(buf_a[:rank], buf_b))
+            buf_b = empty
+            buf_a = buf_a[rank:]
+
+
+def merge_in_memory(records_a: np.ndarray, records_b: np.ndarray, *,
+                    window_records: int, merge_fn: MergeFn,
+                    key_field: str = KEY_FIELD) -> np.ndarray:
+    """Algorithm 1 over two in-memory runs; returns the merged run.
+
+    This is the *second level* of the hybrid sort: host-resident blocks are
+    merged by streaming device-sized windows through ``merge_fn``.
+    """
+    chunks: list[np.ndarray] = []
+    merge_streams(ArraySource(records_a), ArraySource(records_b), chunks.append,
+                  window_records=window_records, merge_fn=merge_fn,
+                  key_field=key_field)
+    if not chunks:
+        return records_a[:0].copy()
+    return np.concatenate(chunks)
+
+
+def merge_runs(reader_a, reader_b, writer, *, window_records: int,
+               merge_fn: MergeFn, key_field: str = KEY_FIELD) -> int:
+    """Algorithm 1 over two on-disk runs; appends to an open RunWriter.
+
+    This is the *first level*: disk runs merged through host memory.
+    """
+    return merge_streams(reader_a, reader_b, writer.append,
+                         window_records=window_records, merge_fn=merge_fn,
+                         key_field=key_field)

@@ -1,0 +1,99 @@
+"""The per-overlap-length partition store.
+
+The map phase converts each read batch into ``(length, fingerprint, vertex)``
+tuples and splits them by length into ``l_max − l_min`` partitions per side
+(S = suffixes, P = prefixes), "each into a file corresponding to the
+partition" (§III.A). Partitions below ``l_min`` are never materialized and
+the ``l_max`` partition is dropped to avoid self-loops.
+
+The store owns the naming scheme and the writer lifecycle; sort and reduce
+phases address partitions as ``(side, length)`` pairs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigError, StreamProtocolError
+from .io_stats import IOAccountant
+from .streams import RunReader, RunWriter
+
+SIDES = ("S", "P")
+
+
+class PartitionStore:
+    """Manages the S/P partition run files under one directory."""
+
+    def __init__(self, root: str | Path, dtype: np.dtype,
+                 accountant: IOAccountant | None = None):
+        self.root = Path(root)
+        self.dtype = np.dtype(dtype)
+        self.accountant = accountant
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._writers: dict[tuple[str, int], RunWriter] = {}
+
+    # -- paths ------------------------------------------------------------
+
+    def path(self, side: str, length: int, *, sorted_run: bool = False) -> Path:
+        """File path of one partition (or of its sorted counterpart)."""
+        if side not in SIDES:
+            raise ConfigError(f"side must be one of {SIDES}, got {side!r}")
+        stem = f"{side}_{length:05d}"
+        return self.root / (f"{stem}.sorted.run" if sorted_run else f"{stem}.run")
+
+    # -- writing (map phase) -----------------------------------------------
+
+    def append(self, side: str, length: int, records: np.ndarray) -> None:
+        """Append records to partition ``(side, length)``."""
+        key = (side, length)
+        writer = self._writers.get(key)
+        if writer is None:
+            writer = RunWriter(self.path(side, length), self.dtype, self.accountant)
+            self._writers[key] = writer
+        writer.append(records)
+
+    def finalize(self) -> None:
+        """Close all open partition writers (end of the map phase)."""
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    def __enter__(self) -> "PartitionStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finalize()
+
+    # -- reading (sort/reduce phases) -----------------------------------------
+
+    def lengths(self) -> list[int]:
+        """All partition lengths present on disk, ascending."""
+        if self._writers:
+            raise StreamProtocolError("finalize() the store before reading partitions")
+        found = set()
+        for path in self.root.glob("[SP]_*.run"):
+            stem = path.name.split(".")[0]
+            found.add(int(stem.split("_")[1]))
+        return sorted(found)
+
+    def open_run(self, side: str, length: int, *, sorted_run: bool = False) -> RunReader:
+        """Open one partition for sequential reading."""
+        return RunReader(self.path(side, length, sorted_run=sorted_run),
+                         self.dtype, self.accountant)
+
+    def records_in(self, side: str, length: int, *, sorted_run: bool = False) -> int:
+        """Record count of one partition (0 if the file is absent)."""
+        path = self.path(side, length, sorted_run=sorted_run)
+        if not path.exists():
+            return 0
+        return path.stat().st_size // self.dtype.itemsize
+
+    def total_bytes(self) -> int:
+        """Bytes across every partition file currently on disk."""
+        return sum(path.stat().st_size for path in self.root.glob("*.run"))
+
+    def delete(self, side: str, length: int, *, sorted_run: bool = False) -> None:
+        """Remove a partition file (after it has been consumed)."""
+        self.path(side, length, sorted_run=sorted_run).unlink(missing_ok=True)

@@ -1,0 +1,151 @@
+"""Sequential run files: the read-only and write-only memories of Fig. 3.
+
+A *run* is a flat binary file of packed KV records. :class:`RunWriter`
+appends strictly sequentially; :class:`RunReader` consumes strictly
+sequentially. The same path must never be open for reading and writing at
+once — the paper's "a file cannot be read and written at the same time"
+rule — and violations raise
+:class:`~repro.errors.StreamProtocolError`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StreamProtocolError
+from .io_stats import IOAccountant
+
+#: Paths currently open, mapped to their mode ("r"/"w"); enforces exclusivity.
+_OPEN_PATHS: dict[Path, str] = {}
+
+
+def _register(path: Path, mode: str) -> None:
+    if path in _OPEN_PATHS:
+        raise StreamProtocolError(
+            f"{path} is already open ({_OPEN_PATHS[path]!r}); "
+            "read-only and write-only memories are exclusive"
+        )
+    _OPEN_PATHS[path] = mode
+
+
+def _unregister(path: Path) -> None:
+    _OPEN_PATHS.pop(path, None)
+
+
+class RunWriter:
+    """Appends records of one dtype to a run file, sequentially."""
+
+    def __init__(self, path: str | Path, dtype: np.dtype,
+                 accountant: IOAccountant | None = None):
+        self.path = Path(path)
+        self.dtype = np.dtype(dtype)
+        self._accountant = accountant
+        _register(self.path, "w")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "wb")
+        self._records_written = 0
+        # Writes charge bandwidth only: the write-only memory is appended
+        # through the OS write-behind cache, which amortizes head movement
+        # (the paper's map phase streams 74 partition files concurrently).
+        self._pending_seek = 0
+
+    @property
+    def records_written(self) -> int:
+        """Records appended so far."""
+        return self._records_written
+
+    def append(self, records: np.ndarray) -> None:
+        """Append a record array (must match the run dtype)."""
+        if self._handle.closed:
+            raise StreamProtocolError(f"{self.path}: append after close")
+        if records.dtype != self.dtype:
+            raise StreamProtocolError(
+                f"{self.path}: dtype mismatch ({records.dtype} != {self.dtype})")
+        data = np.ascontiguousarray(records)
+        self._handle.write(data.tobytes())
+        if self._accountant is not None:
+            self._accountant.add_write(data.nbytes, seeks=self._pending_seek)
+        self._pending_seek = 0
+        self._records_written += records.shape[0]
+
+    def close(self) -> None:
+        """Finish the run; the path becomes available for reading."""
+        if not self._handle.closed:
+            self._handle.close()
+            _unregister(self.path)
+
+    def __enter__(self) -> "RunWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RunReader:
+    """Streams records of one dtype from a run file, sequentially."""
+
+    def __init__(self, path: str | Path, dtype: np.dtype,
+                 accountant: IOAccountant | None = None):
+        self.path = Path(path)
+        self.dtype = np.dtype(dtype)
+        self._accountant = accountant
+        _register(self.path, "r")
+        self._handle = open(self.path, "rb")
+        size = self.path.stat().st_size
+        if size % self.dtype.itemsize:
+            _unregister(self.path)
+            self._handle.close()
+            raise StreamProtocolError(
+                f"{self.path}: size {size} is not a multiple of record width "
+                f"{self.dtype.itemsize}")
+        self._total = size // self.dtype.itemsize
+        self._consumed = 0
+        self._pending_seek = 1
+
+    @property
+    def total_records(self) -> int:
+        """Records in the whole run."""
+        return self._total
+
+    @property
+    def remaining(self) -> int:
+        """Records not yet consumed."""
+        return self._total - self._consumed
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the stream has been fully consumed."""
+        return self.remaining == 0
+
+    def read(self, n: int) -> np.ndarray:
+        """Consume up to ``n`` records (empty array at end of stream)."""
+        if self._handle.closed:
+            raise StreamProtocolError(f"{self.path}: read after close")
+        n = min(n, self.remaining)
+        if n <= 0:
+            return np.empty(0, dtype=self.dtype)
+        raw = self._handle.read(n * self.dtype.itemsize)
+        if self._accountant is not None:
+            self._accountant.add_read(len(raw), seeks=self._pending_seek)
+        self._pending_seek = 0
+        records = np.frombuffer(raw, dtype=self.dtype).copy()
+        self._consumed += records.shape[0]
+        return records
+
+    def read_all(self) -> np.ndarray:
+        """Consume the entire remainder in one call (small runs only)."""
+        return self.read(self.remaining)
+
+    def close(self) -> None:
+        """Release the path."""
+        if not self._handle.closed:
+            self._handle.close()
+            _unregister(self.path)
+
+    def __enter__(self) -> "RunReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,27 @@
+"""Rabin–Karp fingerprint engine.
+
+Computes, for every read (and its reverse complement), the fingerprints of
+all of its prefixes and suffixes in one pass, using the paper's Hillis–Steele
+scan formulation (Figs. 5–6):
+
+* :mod:`repro.fingerprint.modmath` — modular arithmetic helpers and the
+  radix/prime parameter catalog,
+* :mod:`repro.fingerprint.rabin_karp` — the scalar reference implementation,
+* :mod:`repro.fingerprint.scan` — the batched scan kernels,
+* :mod:`repro.fingerprint.scheme` — multi-hash key packing
+  (:class:`FingerprintScheme`), the analog of the paper's 128-bit
+  fingerprints.
+"""
+
+from .rabin_karp import HashSpec, naive_prefix_fingerprints, naive_suffix_fingerprints
+from .scan import prefix_fingerprints_batch, suffix_fingerprints_batch
+from .scheme import FingerprintScheme
+
+__all__ = [
+    "HashSpec",
+    "naive_prefix_fingerprints",
+    "naive_suffix_fingerprints",
+    "prefix_fingerprints_batch",
+    "suffix_fingerprints_batch",
+    "FingerprintScheme",
+]

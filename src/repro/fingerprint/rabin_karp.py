@@ -1,0 +1,69 @@
+"""Scalar Rabin–Karp reference implementation.
+
+The polynomial convention throughout the library: the fingerprint of a
+string ``s`` of length ``k`` under ``(radix σ, prime q)`` is
+
+    f(s) = (s[0]·σ^(k-1) + s[1]·σ^(k-2) + … + s[k-1]) mod q
+
+i.e. most-significant base first, so appending a base is
+``f(s·c) = (f(s)·σ + c) mod q``. The batched scan kernels in
+:mod:`repro.fingerprint.scan` must agree with these loops exactly — that is
+the core correctness property the hypothesis tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .modmath import MODULUS_PRIMES, RADIX_PRIMES, check_params
+
+
+@dataclass(frozen=True)
+class HashSpec:
+    """One Rabin–Karp hash lane: a radix and a prime modulus."""
+
+    radix: int
+    prime: int
+
+    def __post_init__(self) -> None:
+        check_params(self.radix, self.prime)
+
+    @staticmethod
+    def lane(index: int) -> "HashSpec":
+        """The ``index``-th standard lane from the parameter catalog."""
+        return HashSpec(RADIX_PRIMES[index % len(RADIX_PRIMES)],
+                        MODULUS_PRIMES[index % len(MODULUS_PRIMES)])
+
+    def fingerprint(self, codes: np.ndarray) -> int:
+        """Fingerprint of a whole 1-D code array (Horner's rule)."""
+        value = 0
+        for code in np.asarray(codes, dtype=np.uint64):
+            value = (value * self.radix + int(code)) % self.prime
+        return value
+
+
+def naive_prefix_fingerprints(codes: np.ndarray, spec: HashSpec) -> np.ndarray:
+    """``out[i] = f(codes[:i+1])`` by direct Horner evaluation."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    out = np.empty(codes.shape[0], dtype=np.uint64)
+    value = 0
+    for i, code in enumerate(codes):
+        value = (value * spec.radix + int(code)) % spec.prime
+        out[i] = value
+    return out
+
+
+def naive_suffix_fingerprints(codes: np.ndarray, spec: HashSpec) -> np.ndarray:
+    """``out[i] = f(codes[i:])`` by direct evaluation of every suffix."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    length = codes.shape[0]
+    out = np.empty(length, dtype=np.uint64)
+    value = 0
+    place = 1
+    for i in range(length - 1, -1, -1):
+        value = (value + int(codes[i]) * place) % spec.prime
+        place = (place * spec.radix) % spec.prime
+        out[i] = value
+    return out

@@ -1,0 +1,73 @@
+"""Batched fingerprint generation via Hillis–Steele scans (paper Figs. 5–6).
+
+The paper assigns a *block of threads per read* and expresses prefix
+fingerprinting as an inclusive scan with a doubling offset: after the step
+with offset ``d``, position ``i`` holds the fingerprint of the window of
+length ``min(i+1, 2d)`` ending at ``i``; after ``⌈log₂ L⌉`` steps it holds
+the full prefix fingerprint. Suffix fingerprints then come *for free* from
+the prefix fingerprints and the place-value array:
+
+    S[i] = (P[L-1] − P[i-1]·σ^(L-i)) mod q,   S[0] = P[L-1].
+
+Here a *row of the batch matrix* plays the role of the thread block: each
+scan step is one vectorized numpy expression over the whole ``(n_reads, L)``
+batch — the same data-parallel shape, so the virtual GPU charges it as one
+scan launch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .modmath import place_values, submod
+from .rabin_karp import HashSpec
+
+
+def prefix_fingerprints_batch(codes: np.ndarray, spec: HashSpec) -> np.ndarray:
+    """Prefix fingerprints of every read in a batch.
+
+    ``codes`` is ``(n_reads, L)`` ``uint8``; the result is ``(n_reads, L)``
+    ``uint64`` with ``out[r, i] = f(read_r[:i+1])``.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ConfigError("prefix_fingerprints_batch expects a (n_reads, L) batch")
+    n, length = codes.shape
+    prefix = codes.astype(np.uint64)
+    if n == 0 or length == 0:
+        return prefix
+    q = np.uint64(spec.prime)
+    offset = 1
+    sigma_d = np.uint64(spec.radix % spec.prime)
+    while offset < length:
+        # P[i] += P[i-d] * sigma^d  (mod q); one step of the Hillis-Steele scan.
+        shifted = prefix[:, :-offset]
+        prefix[:, offset:] = (prefix[:, offset:] + shifted * sigma_d) % q
+        offset *= 2
+        sigma_d = (sigma_d * sigma_d) % q
+    return prefix
+
+
+def suffix_fingerprints_batch(prefix: np.ndarray, spec: HashSpec) -> np.ndarray:
+    """Suffix fingerprints derived from prefix fingerprints (Fig. 6).
+
+    ``prefix`` is the output of :func:`prefix_fingerprints_batch`; the result
+    has ``out[r, i] = f(read_r[i:])``.
+    """
+    prefix = np.asarray(prefix, dtype=np.uint64)
+    if prefix.ndim != 2:
+        raise ConfigError("suffix_fingerprints_batch expects a (n_reads, L) matrix")
+    n, length = prefix.shape
+    if n == 0 or length == 0:
+        return prefix.copy()
+    q = np.uint64(spec.prime)
+    # places[i] = sigma^(L-i) mod q for i in [1, L)
+    places = place_values(spec.radix, spec.prime, length + 1)
+    full = prefix[:, -1:]
+    out = np.empty_like(prefix)
+    out[:, 0] = prefix[:, -1]
+    if length > 1:
+        shifted = (prefix[:, :-1] * places[length - 1:0:-1][None, :]) % q
+        out[:, 1:] = submod(full, shifted, spec.prime)
+    return out

@@ -1,0 +1,70 @@
+"""A packed bit-vector over vertex ids.
+
+This is the out-degree oracle of the paper's greedy graph construction: one
+bit per vertex, 64 vertices per word. In the distributed pipeline the raw
+words are shipped between nodes as the "token" that serializes graph
+building (§III.E.3), so the vector supports cheap (de)serialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class PackedBitVector:
+    """Fixed-size bit-vector with vectorized batch get/set."""
+
+    def __init__(self, n_bits: int, words: np.ndarray | None = None):
+        if n_bits < 0:
+            raise ConfigError("n_bits must be non-negative")
+        self.n_bits = n_bits
+        n_words = -(-n_bits // 64)
+        if words is None:
+            self._words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            if words.shape != (n_words,):
+                raise ConfigError("word array does not match n_bits")
+            self._words = words.astype(np.uint64)
+
+    def _split(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_bits):
+            raise ConfigError("bit index out of range")
+        return indices >> 6, np.uint64(1) << (indices & 63).astype(np.uint64)
+
+    def get(self, indices: np.ndarray | int) -> np.ndarray:
+        """Boolean array: whether each index's bit is set."""
+        scalar = np.isscalar(indices)
+        words, masks = self._split(np.atleast_1d(indices))
+        result = (self._words[words] & masks) != 0
+        return bool(result[0]) if scalar else result
+
+    def set(self, indices: np.ndarray | int) -> None:
+        """Set the given bits (duplicates allowed)."""
+        words, masks = self._split(np.atleast_1d(indices))
+        np.bitwise_or.at(self._words, words, masks)
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(np.bitwise_count(self._words).sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size (what the distributed token costs to ship)."""
+        return self._words.nbytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize the vector's words (little-endian uint64)."""
+        return self._words.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, n_bits: int) -> "PackedBitVector":
+        """Deserialize a vector previously produced by :meth:`to_bytes`."""
+        words = np.frombuffer(data, dtype=np.uint64).copy()
+        return cls(n_bits, words)
+
+    def copy(self) -> "PackedBitVector":
+        """Deep copy."""
+        return PackedBitVector(self.n_bits, self._words.copy())

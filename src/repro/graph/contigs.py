@@ -1,0 +1,64 @@
+"""Contig containers and in-memory contig spelling.
+
+:class:`ContigSet` is the flat (codes, offsets) container every assembler
+in this repository produces; :func:`spell_contigs` spells a
+:class:`~repro.graph.traverse.PathSet` directly from an in-memory oriented
+code matrix — the simple path used by the baselines and by tests (the
+pipeline's compress phase spells the same thing while *streaming* reads
+from disk; tests assert both agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .traverse import PathSet
+
+
+@dataclass(frozen=True)
+class ContigSet:
+    """All contigs as one flat 2-bit code buffer plus offsets."""
+
+    flat_codes: np.ndarray    #: (total_bases,) uint8
+    offsets: np.ndarray       #: (n_contigs + 1,) int64
+
+    @property
+    def n_contigs(self) -> int:
+        """Number of contigs."""
+        return self.offsets.shape[0] - 1
+
+    def lengths(self) -> np.ndarray:
+        """Per-contig base counts."""
+        return np.diff(self.offsets)
+
+    def contig_codes(self, index: int) -> np.ndarray:
+        """The 2-bit codes of one contig."""
+        return self.flat_codes[self.offsets[index]:self.offsets[index + 1]]
+
+    def __iter__(self):
+        return (self.contig_codes(i) for i in range(self.n_contigs))
+
+
+def spell_contigs(paths: PathSet, oriented_codes: np.ndarray) -> ContigSet:
+    """Spell paths into contigs from an in-memory oriented code matrix.
+
+    ``oriented_codes`` is ``(2·n_reads, L)`` with row ``v`` the codes of
+    vertex ``v`` (row ``2r`` = read ``r``, row ``2r+1`` = its reverse
+    complement). Each path entry contributes the first ``overhang`` bases of
+    its oriented read; because contigs are concatenated in path order, the
+    flat output is exactly those ragged row-prefixes back to back.
+    """
+    if oriented_codes.ndim != 2:
+        raise ConfigError("oriented_codes must be a (2*n_reads, L) matrix")
+    contig_lengths = paths.contig_lengths()
+    offsets = np.concatenate(([0], np.cumsum(contig_lengths))).astype(np.int64)
+    takes = paths.overhangs
+    if takes.shape[0] == 0:
+        return ContigSet(np.empty(0, dtype=np.uint8), offsets)
+    rows = np.repeat(paths.vertices, takes)
+    entry_starts = np.cumsum(takes) - takes
+    cols = np.arange(rows.shape[0]) - np.repeat(entry_starts, takes)
+    return ContigSet(oriented_codes[rows, cols].astype(np.uint8), offsets)

@@ -1,0 +1,129 @@
+"""Full (non-greedy) overlap graphs and transitive reduction.
+
+The paper's assembler keeps only greedy best-overlap edges; classic string
+graph assemblers (Myers 2005, SGA) instead keep *all* overlap edges and
+remove the redundant transitive ones. This module implements that
+alternative at small scale so the design choice can be ablated
+(DESIGN.md D3): memory per vertex, edge counts, and resulting contigs are
+compared in ``benchmarks/bench_ablation_greedy.py``.
+
+For fixed-length reads (length ``L``) an edge ``u→w`` with overlap ``l_uw``
+is transitive iff some mid vertex ``v`` has ``u→v`` (overlap ``l_uv``) and
+``v→w`` (overlap ``l_vw``) with ``l_uv + l_vw − L == l_uw`` — i.e. walking
+``u→v→w`` spells the same bases as ``u→w``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class FullOverlapGraph:
+    """All-overlaps string graph over oriented-read vertices (small scale)."""
+
+    def __init__(self, n_reads: int, read_length: int):
+        if read_length < 1:
+            raise ConfigError("read_length must be >= 1")
+        self.n_reads = n_reads
+        self.read_length = read_length
+        self.n_vertices = 2 * n_reads
+        self._adjacency: dict[int, dict[int, int]] = defaultdict(dict)
+
+    def add_edge(self, u: int, v: int, overlap: int) -> None:
+        """Insert edge ``u→v`` keeping the longest overlap per vertex pair."""
+        if not 1 <= overlap < self.read_length:
+            raise ConfigError("overlap out of range")
+        current = self._adjacency[u].get(v)
+        if current is None or overlap > current:
+            self._adjacency[u][v] = overlap
+
+    def add_edges(self, sources: np.ndarray, targets: np.ndarray,
+                  overlaps: np.ndarray) -> None:
+        """Bulk edge insertion (same-read pairs are skipped)."""
+        for u, v, l in zip(np.asarray(sources), np.asarray(targets), np.asarray(overlaps)):
+            if (int(u) >> 1) != (int(v) >> 1):
+                self.add_edge(int(u), int(v), int(l))
+
+    @property
+    def n_edges(self) -> int:
+        """Total directed edges."""
+        return sum(len(nbrs) for nbrs in self._adjacency.values())
+
+    def out_edges(self, u: int) -> list[tuple[int, int]]:
+        """``(target, overlap)`` list of ``u``, longest overlap first."""
+        return sorted(self._adjacency.get(u, {}).items(), key=lambda e: -e[1])
+
+    def nbytes_estimate(self) -> int:
+        """Rough memory footprint: 12 bytes per stored edge plus dict slots."""
+        return self.n_edges * 12 + len(self._adjacency) * 8
+
+    # -- simplification ------------------------------------------------------
+
+    def transitive_reduction(self) -> int:
+        """Remove transitive edges in place; returns how many were removed."""
+        length = self.read_length
+        removed = 0
+        for u, neighbours in list(self._adjacency.items()):
+            if len(neighbours) < 2:
+                continue
+            doomed = []
+            for w, l_uw in neighbours.items():
+                for v, l_uv in neighbours.items():
+                    if v == w or l_uv <= l_uw:
+                        continue
+                    l_vw = self._adjacency.get(v, {}).get(w)
+                    if l_vw is not None and l_uv + l_vw - length == l_uw:
+                        doomed.append(w)
+                        break
+            for w in doomed:
+                del neighbours[w]
+                removed += 1
+        return removed
+
+    def unitig_paths(self) -> list[list[tuple[int, int]]]:
+        """Maximal unambiguous paths as ``[(vertex, overhang), …]`` lists.
+
+        A path extends through ``u→v`` only when ``u`` has exactly one
+        out-edge and ``v`` exactly one in-edge (the classic unitig rule).
+        """
+        in_degree: dict[int, int] = defaultdict(int)
+        for u, nbrs in self._adjacency.items():
+            for v in nbrs:
+                in_degree[v] += 1
+
+        def sole_successor(u: int) -> tuple[int, int] | None:
+            nbrs = self._adjacency.get(u, {})
+            if len(nbrs) != 1:
+                return None
+            (v, l), = nbrs.items()
+            return (v, l) if in_degree[v] == 1 else None
+
+        paths: list[list[tuple[int, int]]] = []
+        visited: set[int] = set()
+        for u in range(self.n_vertices):
+            if u in visited:
+                continue
+            # Seed: u is not the unambiguous continuation of anything.
+            has_unambiguous_pred = any(
+                sole_successor(p) == (u, l)
+                for p, nbrs in self._adjacency.items() for v, l in nbrs.items() if v == u
+            )
+            if has_unambiguous_pred:
+                continue
+            path: list[tuple[int, int]] = []
+            vertex = u
+            while vertex not in visited:
+                visited.add(vertex)
+                succ = sole_successor(vertex)
+                if succ is None:
+                    path.append((vertex, self.read_length))
+                    break
+                path.append((vertex, self.read_length - succ[1]))
+                vertex = succ[0]
+            if path:
+                paths.append(path)
+        return paths

@@ -1,0 +1,187 @@
+"""The greedy string graph (paper §III.C).
+
+Candidate edges arrive from the reduce phase in **descending overlap-length
+order** (longest overlaps first — the greedy heuristic of PHRAP/Edena the
+paper adopts). For each candidate ``(u, v, l)`` the graph checks its
+out-degree bit-vector: if either ``u`` or ``v' = complement(v)`` already has
+an outgoing edge the candidate is discarded; otherwise both ``(u, v, l)``
+and ``(v', u', l)`` are inserted and both bits set. Complement symmetry then
+guarantees in-degree ≤ 1 as well (an in-edge of ``v`` is an out-edge of
+``v'``).
+
+Candidates inside one batch are resolved in array order with exact
+sequential-greedy semantics, but vectorized: each round accepts every
+candidate whose two claimed vertices (``u`` and ``v'``) are not claimed by
+any earlier candidate in the remaining list, applies them, re-filters, and
+repeats. Each round accepts at least the earliest remaining candidate, and
+an accepted candidate is always one sequential greedy would accept, so the
+fixpoint equals the sequential result.
+
+The graph lives in *host* memory (the paper keeps it there: 2.5 G edges ≈
+12 GB, far beyond device capacity, and fine-grained device locking was found
+"detrimental"); an optional host memory pool accounts its footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.memory import MemoryPool
+from ..errors import ConfigError, GraphInvariantError
+from .bitvector import PackedBitVector
+
+NO_EDGE = np.int64(-1)
+
+
+def complement_vertices(vertices: np.ndarray | int):
+    """The Watson–Crick complement vertex of each oriented-read vertex."""
+    return np.asarray(vertices) ^ 1 if not np.isscalar(vertices) else vertices ^ 1
+
+
+class GreedyStringGraph:
+    """At-most-one-in/one-out string graph over ``2 · n_reads`` vertices."""
+
+    def __init__(self, n_reads: int, read_length: int,
+                 host_pool: MemoryPool | None = None):
+        if n_reads < 0 or read_length < 1:
+            raise ConfigError("need n_reads >= 0 and read_length >= 1")
+        self.n_reads = n_reads
+        self.read_length = read_length
+        self.n_vertices = 2 * n_reads
+        self.out_bits = PackedBitVector(self.n_vertices)
+        self.target = np.full(self.n_vertices, NO_EDGE, dtype=np.int64)
+        self.overlap = np.zeros(self.n_vertices, dtype=np.uint16)
+        self.in_degree = np.zeros(self.n_vertices, dtype=np.uint8)
+        self._n_edges = 0
+        self._candidates_seen = 0
+        self._allocation = None
+        if host_pool is not None:
+            self._allocation = host_pool.alloc(self.nbytes, label="string-graph")
+
+    @property
+    def nbytes(self) -> int:
+        """Host-memory footprint of the graph arrays."""
+        return (self.target.nbytes + self.overlap.nbytes + self.in_degree.nbytes
+                + self.out_bits.nbytes)
+
+    @property
+    def n_edges(self) -> int:
+        """Directed edges inserted (complement pairs count as two)."""
+        return self._n_edges
+
+    @property
+    def candidates_seen(self) -> int:
+        """Candidate edges offered to the greedy rule so far."""
+        return self._candidates_seen
+
+    def release(self) -> None:
+        """Free the host-pool reservation (if any)."""
+        if self._allocation is not None:
+            self._allocation.free()
+
+    # -- construction -------------------------------------------------------
+
+    def add_candidates(self, sources: np.ndarray, targets: np.ndarray,
+                       length: int) -> int:
+        """Offer a batch of candidate edges of one overlap length, in order.
+
+        ``sources[i] → targets[i]`` with overlap ``length``. Returns the
+        number of candidates accepted (complement twins not counted).
+        """
+        if not 1 <= length < self.read_length:
+            raise ConfigError(f"overlap length {length} outside [1, {self.read_length})")
+        u = np.asarray(sources, dtype=np.int64)
+        v = np.asarray(targets, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ConfigError("sources/targets length mismatch")
+        self._candidates_seen += u.shape[0]
+        if u.size and (min(u.min(), v.min()) < 0
+                       or max(u.max(), v.max()) >= self.n_vertices):
+            raise ConfigError("vertex id out of range")
+        # Same-read pairs (self-loops and palindromic self-overlaps) never
+        # become edges.
+        keep = (u >> 1) != (v >> 1)
+        u, v = u[keep], v[keep]
+        accepted_total = 0
+        while u.size:
+            # Greedy eligibility against the current bit-vector.
+            claim_a, claim_b = u, v ^ 1
+            eligible = ~(self.out_bits.get(claim_a) | self.out_bits.get(claim_b))
+            u, v = u[eligible], v[eligible]
+            if not u.size:
+                break
+            accept = self._first_claim_mask(u, v ^ 1)
+            self._apply_edges(u[accept], v[accept], length)
+            accepted_total += int(accept.sum())
+            u, v = u[~accept], v[~accept]
+        return accepted_total
+
+    @staticmethod
+    def _first_claim_mask(claim_a: np.ndarray, claim_b: np.ndarray) -> np.ndarray:
+        """Candidates whose both claims are first-claimed by themselves."""
+        m = claim_a.shape[0]
+        claim_vertices = np.concatenate([claim_a, claim_b])
+        claim_owner = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.lexsort((claim_owner, claim_vertices))
+        sorted_vertices = claim_vertices[order]
+        firsts = np.ones(2 * m, dtype=bool)
+        firsts[1:] = sorted_vertices[1:] != sorted_vertices[:-1]
+        # first_claimer[vertex] propagated to every claim of that vertex
+        group_first_owner = np.minimum.reduceat(
+            claim_owner[order], np.nonzero(firsts)[0])
+        group_index = np.cumsum(firsts) - 1
+        first_owner_sorted = group_first_owner[group_index]
+        first_owner = np.empty(2 * m, dtype=np.int64)
+        first_owner[order] = first_owner_sorted
+        owners = np.arange(m)
+        return (first_owner[:m] == owners) & (first_owner[m:] == owners)
+
+    def _apply_edges(self, u: np.ndarray, v: np.ndarray, length: int) -> None:
+        cu, cv = v ^ 1, u ^ 1
+        self.target[u] = v
+        self.target[cu] = cv
+        self.overlap[u] = length
+        self.overlap[cu] = length
+        self.out_bits.set(np.concatenate([u, cu]))
+        np.add.at(self.in_degree, v, 1)
+        np.add.at(self.in_degree, cv, 1)
+        self._n_edges += 2 * u.shape[0]
+
+    # -- queries ----------------------------------------------------------
+
+    def out_vertex(self, vertex: int) -> int:
+        """Target of ``vertex``'s out-edge, or -1."""
+        return int(self.target[vertex])
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All edges as ``(sources, targets, overlaps)`` arrays."""
+        sources = np.nonzero(self.target != NO_EDGE)[0]
+        return sources, self.target[sources], self.overlap[sources].astype(np.int64)
+
+    def overhangs(self) -> np.ndarray:
+        """Per-vertex overhang length: ``L − overlap`` (or ``L`` with no edge)."""
+        out = np.full(self.n_vertices, self.read_length, dtype=np.int64)
+        has_edge = self.target != NO_EDGE
+        out[has_edge] = self.read_length - self.overlap[has_edge].astype(np.int64)
+        return out
+
+    # -- invariants -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate degree bounds and complement symmetry; raises on breakage."""
+        sources, targets, overlaps = self.edge_list()
+        if np.unique(sources).shape[0] != sources.shape[0]:
+            raise GraphInvariantError("out-degree > 1 detected")
+        if targets.size and np.unique(targets).shape[0] != targets.shape[0]:
+            raise GraphInvariantError("in-degree > 1 detected")
+        if (self.in_degree > 1).any():
+            raise GraphInvariantError("in-degree counter exceeded 1")
+        comp_targets = self.target[targets ^ 1]
+        if not np.array_equal(comp_targets, sources ^ 1):
+            raise GraphInvariantError("complement edge symmetry broken")
+        if not np.array_equal(self.overlap[targets ^ 1], self.overlap[sources]):
+            raise GraphInvariantError("complement overlap symmetry broken")
+        bits_set = self.out_bits.get(np.arange(self.n_vertices)) if self.n_vertices else \
+            np.zeros(0, dtype=bool)
+        if not np.array_equal(np.nonzero(bits_set)[0], sources):
+            raise GraphInvariantError("out-degree bit-vector out of sync")

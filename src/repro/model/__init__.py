@@ -1,0 +1,37 @@
+"""Analytic paper-scale model.
+
+Evaluates the shared cost formulas of :mod:`repro.device.costs` (plus a
+small number of fitted I/O constants) symbolically over the *published*
+Table I dataset sizes, regenerating the paper's evaluation artefacts at
+full scale — something the scaled measured runs cannot do directly:
+
+* :mod:`repro.model.paper_values` — every number the paper publishes
+  (Tables I–VI, digitized Figs. 8–10), used as the "paper" column of every
+  benchmark,
+* :mod:`repro.model.workload` — derived workload quantities (tuple counts,
+  partition bytes) from a dataset spec,
+* :mod:`repro.model.single_node` — per-phase time and peak-memory model
+  (Tables II–V),
+* :mod:`repro.model.sorting` — the block-size/GPU sorting model
+  (Figs. 8–9),
+* :mod:`repro.model.comparison` — the SGA comparison model (Table VI),
+* :mod:`repro.model.distributed` — the cluster scaling model (Fig. 10).
+"""
+
+from .workload import Workload
+from .single_node import (model_memory_peaks, model_multi_gpu_seconds,
+                          model_phase_components, model_phase_seconds)
+from .sorting import model_partition_sort_seconds
+from .comparison import model_sga_seconds
+from .distributed import model_distributed_seconds
+
+__all__ = [
+    "Workload",
+    "model_phase_seconds",
+    "model_phase_components",
+    "model_multi_gpu_seconds",
+    "model_memory_peaks",
+    "model_partition_sort_seconds",
+    "model_sga_seconds",
+    "model_distributed_seconds",
+]

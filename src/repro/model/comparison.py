@@ -1,0 +1,39 @@
+"""SGA comparison model (Table VI).
+
+LaSAGNA's side comes from :mod:`repro.model.single_node` (map + sort +
+reduce — the paper compares against SGA's preprocess + index + overlap,
+i.e. both sides exclude contig generation and error correction). SGA's
+side is modeled as a fitted per-base throughput: the published Table VI
+values imply a remarkably stable ~1.1–1.5 Mbases/s for ropebwt indexing +
+overlap on the paper's Xeons, slightly slower on the 64 GB node (more
+index paging). The OOM rule uses the same ropebwt-class footprint constant
+as the executable baseline (:mod:`repro.baselines.sga`).
+"""
+
+from __future__ import annotations
+
+from ..baselines.sga import SGA_MODEL_BYTES_PER_BASE
+from ..config import MemoryConfig
+from ..device.specs import DeviceSpec
+from .single_node import model_phase_seconds
+from .workload import Workload
+
+#: Fitted SGA throughput (bases/second) by host-memory preset.
+SGA_BASES_PER_SECOND = {"128 GB": 1.30e6, "64 GB": 1.15e6}
+
+
+def model_sga_seconds(workload: Workload, host_bytes: int) -> float | None:
+    """Modeled SGA preprocess+index+overlap seconds; ``None`` = OOM."""
+    bases = workload.n_reads * workload.read_length
+    if bases * SGA_MODEL_BYTES_PER_BASE > host_bytes:
+        return None
+    throughput = SGA_BASES_PER_SECOND["128 GB"] if host_bytes >= 100e9 \
+        else SGA_BASES_PER_SECOND["64 GB"]
+    return bases / throughput
+
+
+def model_lasagna_comparable_seconds(workload: Workload, memory: MemoryConfig,
+                                     device: DeviceSpec | str) -> float:
+    """Modeled LaSAGNA seconds over the phases Table VI compares."""
+    phases = model_phase_seconds(workload, memory, device)
+    return phases["load"] + phases["map"] + phases["sort"] + phases["reduce"]

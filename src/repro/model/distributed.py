@@ -1,0 +1,65 @@
+"""Cluster scaling model (Fig. 10).
+
+Phase-level composition over ``n`` nodes:
+
+* **map** and **sort** divide by ``n`` (independent blocks / partitions,
+  aggregate disk bandwidth — the effect the paper attributes the speedup
+  to),
+* **shuffle** exists only for ``n > 1``: each node re-reads its map output,
+  ships the ``(n−1)/n`` remote fraction over the network, and writes its
+  owned partitions — all concurrently across nodes,
+* **reduce** follows the paper's own law ``t_o · p/n + t_g · p`` (overlap
+  finding parallel, bit-vector token serial), with
+  ``n_max = t_o / t_g`` bounding useful scaling,
+* **load**/**compress** stay serial on the master.
+"""
+
+from __future__ import annotations
+
+from ..config import MemoryConfig
+from ..device.specs import DeviceSpec
+from ..distributed.network import NetworkSpec
+from .single_node import MODEL_DISK_READ, MODEL_DISK_WRITE, model_phase_seconds
+from .workload import Workload
+
+#: Fraction of reduce-phase time spent inserting greedy edges (t_g / (t_o+t_g)).
+REDUCE_GRAPH_FRACTION = 0.06
+
+
+def model_distributed_seconds(workload: Workload, memory: MemoryConfig,
+                              device: DeviceSpec | str, n_nodes: int, *,
+                              network: NetworkSpec | None = None,
+                              ) -> dict[str, float]:
+    """Modeled per-phase seconds for an ``n_nodes`` cluster run."""
+    network = network if network is not None else NetworkSpec()
+    single = model_phase_seconds(workload, memory, device)
+    total_tuple_bytes = workload.total_tuple_nbytes
+
+    phases: dict[str, float] = {}
+    phases["load"] = single["load"]
+    phases["map"] = single["map"] / n_nodes
+    if n_nodes > 1:
+        per_node_bytes = total_tuple_bytes / n_nodes
+        remote_fraction = (n_nodes - 1) / n_nodes
+        phases["shuffle"] = (per_node_bytes / MODEL_DISK_READ
+                             + per_node_bytes / MODEL_DISK_WRITE
+                             + network.transfer_seconds(
+                                 int(per_node_bytes * remote_fraction)))
+    else:
+        phases["shuffle"] = 0.0
+    phases["sort"] = single["sort"] / n_nodes
+
+    p = 2 * workload.n_partition_lengths
+    t_total = single["reduce"]
+    t_g = REDUCE_GRAPH_FRACTION * t_total / p
+    t_o = (1.0 - REDUCE_GRAPH_FRACTION) * t_total / p
+    phases["reduce"] = t_o * p / n_nodes + t_g * p
+    phases["compress"] = single["compress"]
+    phases["total"] = sum(phases.values())
+    return phases
+
+
+def max_useful_nodes(workload: Workload, memory: MemoryConfig,
+                     device: DeviceSpec | str) -> float:
+    """The paper's scalability bound ``n_max = t_o / t_g`` for reduce."""
+    return (1.0 - REDUCE_GRAPH_FRACTION) / REDUCE_GRAPH_FRACTION

@@ -1,0 +1,67 @@
+"""Derived workload quantities for the analytic model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..seq.datasets import DatasetSpec
+
+#: The paper's KV record: 128-bit fingerprint + 32-bit read-id.
+PAPER_RECORD_NBYTES = 20
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Size parameters of one assembly workload."""
+
+    n_reads: int
+    read_length: int
+    min_overlap: int
+    fastq_bytes: int
+    record_nbytes: int = PAPER_RECORD_NBYTES
+
+    @staticmethod
+    def from_spec(spec: DatasetSpec, *, paper_scale: bool = True,
+                  scale: float | None = None) -> "Workload":
+        """Build from a dataset spec (published sizes by default)."""
+        if paper_scale:
+            return Workload(spec.paper.reads, spec.read_length, spec.min_overlap,
+                            spec.paper.size_bytes)
+        n_reads = spec.scaled_reads(scale)
+        return Workload(n_reads, spec.read_length, spec.min_overlap,
+                        n_reads * (2 * spec.read_length + 16))
+
+    @property
+    def n_partition_lengths(self) -> int:
+        """Number of length partitions: ``l_max − l_min``."""
+        return self.read_length - self.min_overlap
+
+    @property
+    def records_per_partition(self) -> int:
+        """KV records per partition per side: both orientations of each read."""
+        return 2 * self.n_reads
+
+    @property
+    def partition_nbytes(self) -> int:
+        """Bytes of one partition file."""
+        return self.records_per_partition * self.record_nbytes
+
+    @property
+    def total_tuple_nbytes(self) -> int:
+        """All map-phase output bytes (S and P sides, every length)."""
+        return 2 * self.n_partition_lengths * self.partition_nbytes
+
+    @property
+    def packed_store_nbytes(self) -> int:
+        """Bytes of the 2-bit packed read store."""
+        return self.n_reads * (-(-self.read_length // 4))
+
+    @property
+    def graph_nbytes(self) -> int:
+        """Host bytes of the greedy graph (2 vertices/read, ~11 B/vertex)."""
+        return 2 * self.n_reads * 11
+
+    @property
+    def contig_nbytes(self) -> int:
+        """Rough contig-buffer bytes (≈ one genome copy per strand)."""
+        return max(1, int(self.n_reads * self.read_length // 18))

@@ -1,0 +1,34 @@
+"""Paired-end scaffolding: ordering contigs with mate-pair links.
+
+Contigs end where coverage gaps or unresolved repeats break the string
+graph; read *pairs* with a known insert size bridge those breaks. This
+package implements the classic scaffolding stage on top of the assembler's
+own machinery:
+
+* :mod:`repro.scaffold.placement` — project every read onto its contig
+  (position + strand) straight from the assembly's
+  :class:`~repro.graph.traverse.PathSet`,
+* :mod:`repro.scaffold.links` — turn mate pairs that land in *different*
+  contigs into oriented contig-pair links with gap estimates, and bundle
+  them by support,
+* :mod:`repro.scaffold.builder` — chain contigs greedily (longest-support
+  links first, one in/one out per contig end — the same greedy discipline
+  as the read-level string graph, reused at contig level) and spell
+  scaffold sequences with ``N``-gaps.
+
+Entry point: :func:`scaffold_assembly`.
+"""
+
+from .builder import ScaffoldResult, scaffold_assembly
+from .links import ContigLink, bundle_links, infer_links
+from .placement import ReadPlacements, place_reads
+
+__all__ = [
+    "ScaffoldResult",
+    "scaffold_assembly",
+    "ContigLink",
+    "bundle_links",
+    "infer_links",
+    "ReadPlacements",
+    "place_reads",
+]

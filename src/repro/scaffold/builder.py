@@ -1,0 +1,109 @@
+"""Greedy scaffold chaining and sequence emission.
+
+Oriented contigs are vertices (``2c`` = contig as assembled, ``2c+1`` =
+reverse-complemented; complement = ``^1``) and bundled links are edges —
+exactly the shape of the read-level greedy string graph, so
+:class:`~repro.graph.GreedyStringGraph` is reused verbatim at contig level:
+links are offered strongest-support first, each contig end accepts at most
+one join, and complement symmetry keeps the two strands consistent. Gaps
+ride alongside in an edge→gap table and become ``N`` runs in the emitted
+scaffolds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import GreedyStringGraph, extract_paths
+from ..graph.contigs import ContigSet
+from ..graph.traverse import PathSet
+from ..seq.alphabet import decode, reverse_complement
+from ..seq.stats import assembly_stats
+from .links import ContigLink, bundle_links, infer_links
+from .placement import place_reads
+
+#: Minimum rendered gap: abutting/overlapping contigs still get one N so
+#: the joint is visible downstream.
+MIN_GAP_NS = 1
+
+
+@dataclass
+class ScaffoldResult:
+    """Scaffolds plus the evidence they were built from."""
+
+    sequences: list[str]
+    links_used: list[ContigLink]
+    n_raw_links: int
+    n_internal_pairs: int
+    n_scaffolded_contigs: int
+
+    def lengths(self) -> np.ndarray:
+        """Per-scaffold lengths (including N gaps)."""
+        return np.array([len(s) for s in self.sequences], dtype=np.int64)
+
+    def stats(self) -> dict[str, int | float]:
+        """Summary statistics over the scaffold lengths."""
+        return assembly_stats(self.lengths())
+
+
+def scaffold_assembly(contigs: ContigSet, paths: PathSet, *, n_pairs: int,
+                      read_length: int, insert_size: int,
+                      min_support: int = 2) -> ScaffoldResult:
+    """Scaffold an assembly using its own path table as the aligner.
+
+    ``paths`` must be the deduplicated path set matching ``contigs`` (the
+    pipeline's :class:`~repro.core.results.AssemblyResult` carries both);
+    reads ``(i, n_pairs + i)`` are mates (the
+    :class:`~repro.seq.simulate.PairedReadSimulator` layout).
+    """
+    n_reads = 2 * n_pairs
+    placements = place_reads(paths, n_reads)
+    contig_lengths = contigs.lengths()
+    raw = infer_links(placements, contig_lengths, n_pairs, read_length,
+                      insert_size)
+    same_contig = sum(
+        1 for pair in range(n_pairs)
+        if placements.contig[pair] >= 0
+        and placements.contig[pair] == placements.contig[n_pairs + pair])
+    bundled = bundle_links(raw, min_support=min_support,
+                           min_gap=-2 * read_length)
+
+    # Contig-level greedy graph: one join per contig end, complement-safe.
+    chain_graph = GreedyStringGraph(contigs.n_contigs, read_length=2)
+    gaps: dict[tuple[int, int], int] = {}
+    used: list[ContigLink] = []
+    for link in bundled:
+        source, target = link.oriented_nodes()
+        if chain_graph.add_candidates(np.array([source]), np.array([target]),
+                                      1):
+            gaps[(source, target)] = link.gap
+            gaps[(target ^ 1, source ^ 1)] = link.gap
+            used.append(link)
+
+    chains = extract_paths(chain_graph).deduplicated()
+    sequences: list[str] = []
+    scaffolded = 0
+    for index in range(chains.n_paths):
+        vertices, _ = chains.path(index)
+        if vertices.shape[0] > 1:
+            scaffolded += vertices.shape[0]
+        parts: list[str] = []
+        for position, vertex in enumerate(vertices):
+            codes = contigs.contig_codes(int(vertex) >> 1)
+            if vertex & 1:
+                codes = reverse_complement(codes)
+            if position:
+                gap = gaps[(int(vertices[position - 1]), int(vertex))]
+                parts.append("N" * max(MIN_GAP_NS, gap))
+            parts.append(decode(codes))
+        sequences.append("".join(parts))
+
+    return ScaffoldResult(
+        sequences=sequences,
+        links_used=used,
+        n_raw_links=len(raw),
+        n_internal_pairs=same_contig,
+        n_scaffolded_contigs=scaffolded,
+    )

@@ -1,0 +1,117 @@
+"""Mate-pair links between contigs.
+
+For an FR pair (mate 1 read genome-forward, mate 2 the reverse complement
+of the locus ``insert_size`` downstream), the two placements induce an
+*oriented* contig adjacency: flip each contig so the genome-forward strand
+runs left-to-right at its mate's locus, then contig 1 precedes contig 2
+with a gap of ``insert − tail₁ − head₂`` bases.
+
+Orientation algebra (``forward`` = the read's stored sequence runs with
+the contig): mate 1 stores the genome-forward strand, so genome-forward
+runs with contig 1 iff the mate is ``forward``; mate 2 stores the reverse
+strand, so genome-forward runs with contig 2 iff the mate is *not*
+``forward``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from .placement import ReadPlacements
+
+
+@dataclass(frozen=True)
+class ContigLink:
+    """A bundled, oriented adjacency between two contigs.
+
+    ``flip_a``/``flip_b`` say whether each contig must be reverse-
+    complemented so the junction reads left-to-right; ``gap`` is the median
+    estimated distance (may be negative for overlapping contigs);
+    ``support`` counts the pairs that voted for this adjacency.
+    """
+
+    contig_a: int
+    flip_a: bool
+    contig_b: int
+    flip_b: bool
+    gap: int
+    support: int
+
+    def oriented_nodes(self) -> tuple[int, int]:
+        """(source, target) as oriented-contig node ids (``2c + flip``)."""
+        return 2 * self.contig_a + int(self.flip_a), \
+            2 * self.contig_b + int(self.flip_b)
+
+
+def infer_links(placements: ReadPlacements, contig_lengths: np.ndarray,
+                n_pairs: int, read_length: int, insert_size: int,
+                ) -> list[tuple[int, bool, int, bool, int]]:
+    """Raw per-pair links (un-bundled); pair ``i`` = reads ``(i, n_pairs+i)``.
+
+    Pairs with an unplaced mate or both mates in one contig contribute
+    nothing (same-contig pairs validate the contig instead of linking it).
+    """
+    if placements.contig.shape[0] < 2 * n_pairs:
+        raise ConfigError("placements cover fewer reads than 2 * n_pairs")
+    links: list[tuple[int, bool, int, bool, int]] = []
+    for pair in range(n_pairs):
+        mate1, mate2 = pair, n_pairs + pair
+        c1, c2 = int(placements.contig[mate1]), int(placements.contig[mate2])
+        if c1 < 0 or c2 < 0 or c1 == c2:
+            continue
+        len1 = int(contig_lengths[c1])
+        len2 = int(contig_lengths[c2])
+        o1, o2 = int(placements.offset[mate1]), int(placements.offset[mate2])
+        # genome-forward direction relative to each contig
+        d1_forward = bool(placements.forward[mate1])
+        d2_forward = not bool(placements.forward[mate2])
+        p1 = o1 if d1_forward else len1 - (o1 + read_length)
+        q2 = o2 if d2_forward else len2 - (o2 + read_length)
+        tail1 = len1 - p1
+        head2 = q2 + read_length
+        gap = insert_size - tail1 - head2
+        links.append((c1, not d1_forward, c2, not d2_forward, gap))
+    return links
+
+
+def _canonical(link: tuple[int, bool, int, bool, int]
+               ) -> tuple[tuple[int, bool, int, bool], int]:
+    """Canonical key: the complement adjacency (B', A') is the same link."""
+    c1, f1, c2, f2, gap = link
+    forward_key = (c1, f1, c2, f2)
+    reverse_key = (c2, not f2, c1, not f1)
+    return (min(forward_key, reverse_key), gap)
+
+
+def bundle_links(raw_links, *, min_support: int = 2,
+                 max_gap_spread: int = 10_000,
+                 min_gap: int = -100) -> list[ContigLink]:
+    """Group per-pair links by oriented contig pair; majority wins.
+
+    Bundles are discarded when they have fewer than ``min_support`` pairs,
+    when their gap estimates disagree by more than ``max_gap_spread``
+    (repeat-induced chimeras), or when the median gap is below ``min_gap``
+    — heavily *overlapping* contigs are a merge problem, not a scaffolding
+    problem, and chaining them would scramble local order. The result is
+    sorted by descending support — the order the greedy chain builder
+    consumes.
+    """
+    bundles: dict[tuple[int, bool, int, bool], list[int]] = {}
+    for link in raw_links:
+        key, gap = _canonical(link)
+        bundles.setdefault(key, []).append(gap)
+    out = []
+    for (c1, f1, c2, f2), gaps in bundles.items():
+        if len(gaps) < min_support:
+            continue
+        if max(gaps) - min(gaps) > max_gap_spread:
+            continue
+        gap = int(np.median(gaps))
+        if gap < min_gap:
+            continue
+        out.append(ContigLink(c1, f1, c2, f2, gap, len(gaps)))
+    out.sort(key=lambda link: (-link.support, link.contig_a, link.contig_b))
+    return out

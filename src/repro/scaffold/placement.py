@@ -1,0 +1,62 @@
+"""Read→contig placement, derived from the assembly's path table.
+
+Every deduplicated path entry *is* a placement: path ``p``'s ``j``-th
+vertex ``v`` says read ``v >> 1`` lies in contig ``p`` starting at the sum
+of the preceding overhangs, on the forward strand of the contig iff
+``v & 1 == 0``. No alignment needed — the assembler already knows where
+every read went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph.traverse import PathSet
+
+
+@dataclass(frozen=True)
+class ReadPlacements:
+    """Per-read contig coordinates (``-1`` contig = read not placed)."""
+
+    contig: np.ndarray   #: (n_reads,) int64 — contig (= path) index
+    offset: np.ndarray   #: (n_reads,) int64 — start position within contig
+    forward: np.ndarray  #: (n_reads,) bool — read's stored sequence runs with the contig
+
+    @property
+    def n_placed(self) -> int:
+        """How many reads have a placement."""
+        return int((self.contig >= 0).sum())
+
+
+def place_reads(paths: PathSet, n_reads: int) -> ReadPlacements:
+    """Project a (deduplicated) :class:`PathSet` onto per-read coordinates.
+
+    Raises if a read appears twice — pass the deduplicated path set, where
+    each read occurs in exactly one orientation.
+    """
+    contig = np.full(n_reads, -1, dtype=np.int64)
+    offset = np.zeros(n_reads, dtype=np.int64)
+    forward = np.zeros(n_reads, dtype=bool)
+    total = paths.vertices.shape[0]
+    if total == 0:
+        return ReadPlacements(contig, offset, forward)
+
+    entry_offsets = np.concatenate(([0], np.cumsum(paths.overhangs)))[:-1]
+    path_index = np.searchsorted(paths.path_offsets, np.arange(total),
+                                 side="right") - 1
+    contig_starts = entry_offsets[paths.path_offsets[:-1]]
+    within = entry_offsets - contig_starts[path_index]
+
+    read_ids = (paths.vertices >> 1).astype(np.int64)
+    if np.unique(read_ids).shape[0] != read_ids.shape[0]:
+        raise ConfigError("a read appears in more than one path entry; "
+                          "pass the deduplicated PathSet")
+    if read_ids.max(initial=-1) >= n_reads:
+        raise ConfigError("path vertex outside the read-id range")
+    contig[read_ids] = path_index
+    offset[read_ids] = within
+    forward[read_ids] = (paths.vertices & 1) == 0
+    return ReadPlacements(contig, offset, forward)

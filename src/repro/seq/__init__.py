@@ -1,0 +1,65 @@
+"""DNA sequence substrate: codecs, I/O, simulation, datasets, statistics.
+
+This package provides everything the assembler needs to get reads from disk
+into 2-bit-encoded numpy batches and back:
+
+* :mod:`repro.seq.alphabet` — base encoding, complement, reverse complement,
+* :mod:`repro.seq.records` — fixed-length read batches as dense matrices,
+* :mod:`repro.seq.fastq` — streaming FASTA/FASTQ readers and writers,
+* :mod:`repro.seq.packing` — the packed on-disk read store (the "Load" phase
+  output),
+* :mod:`repro.seq.simulate` — reference-genome and shotgun-read simulators
+  (the substitute for the paper's Illumina datasets),
+* :mod:`repro.seq.datasets` — the registry of Table I analog datasets,
+* :mod:`repro.seq.stats` — N50 and friends,
+* :mod:`repro.seq.correction` — k-mer-spectrum error correction (the SGA
+  pipeline stage the paper's comparison excludes), an optional
+  preprocessor for noisy reads.
+"""
+
+from .alphabet import (
+    decode,
+    encode,
+    complement_codes,
+    reverse_complement,
+    reverse_complement_str,
+)
+from .correction import (
+    CorrectionReport,
+    KmerSpectrumCorrector,
+    correct_and_filter,
+    correct_reads,
+    filter_uncorrectable,
+)
+from .records import ReadBatch
+from .fastq import read_fasta, read_fastq, write_fasta, write_fastq
+from .packing import PackedReadStore
+from .simulate import ReadSimulator, simulate_genome
+from .datasets import DatasetSpec, dataset_registry, materialize_dataset
+from .stats import assembly_stats, n50
+
+__all__ = [
+    "CorrectionReport",
+    "KmerSpectrumCorrector",
+    "correct_and_filter",
+    "correct_reads",
+    "filter_uncorrectable",
+    "decode",
+    "encode",
+    "complement_codes",
+    "reverse_complement",
+    "reverse_complement_str",
+    "ReadBatch",
+    "read_fasta",
+    "read_fastq",
+    "write_fasta",
+    "write_fastq",
+    "PackedReadStore",
+    "ReadSimulator",
+    "simulate_genome",
+    "DatasetSpec",
+    "dataset_registry",
+    "materialize_dataset",
+    "assembly_stats",
+    "n50",
+]

@@ -1,0 +1,251 @@
+"""Registry of Table I analog datasets.
+
+Each entry pairs the paper's *published* dataset statistics (read count,
+base count, FASTQ bytes — used verbatim by the paper-scale cost model in
+:mod:`repro.model`) with a recipe for a *scaled* synthetic analog: the same
+read length, the same SGA-suggested minimum overlap, and the same coverage,
+over a simulated genome whose size is the real genome scaled by a common
+factor. Scaling data and memory budgets together preserves disk-pass counts
+(DESIGN.md §1).
+
+The scale factor defaults to :data:`DEFAULT_SCALE` and can be overridden
+with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import DatasetError
+from .packing import PackedReadStore
+from .records import ReadBatch
+from .simulate import ReadSimulator, simulate_genome
+
+#: Default dataset scale: ``hgenome_sim`` becomes ~2.5 Mbases of reads over a
+#: ~62 kb genome — large enough to exercise multi-pass external sorting under
+#: scaled budgets, small enough for CI.
+DEFAULT_SCALE = 2e-5
+
+
+def active_scale() -> float:
+    """The dataset scale factor (``REPRO_SCALE`` env var or the default)."""
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError:
+        raise DatasetError(f"REPRO_SCALE must be a float, got {raw!r}") from None
+    if value <= 0:
+        raise DatasetError("REPRO_SCALE must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class PaperScale:
+    """Published statistics of one Table I dataset."""
+
+    reads: int
+    bases: int
+    size_bytes: int
+    genome_bases: int
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset: paper statistics plus the scaled-analog recipe."""
+
+    name: str
+    paper_name: str
+    read_length: int
+    min_overlap: int
+    paper: PaperScale
+    error_rate: float = 0.0
+    seed: int = 7
+
+    @property
+    def coverage(self) -> float:
+        """Mean coverage implied by the paper's base and genome counts."""
+        return self.paper.bases / self.paper.genome_bases
+
+    def genome_length(self, scale: float | None = None) -> int:
+        """Scaled simulated-genome length (≥ 4 read lengths)."""
+        scale = active_scale() if scale is None else scale
+        return max(self.read_length * 4, int(self.paper.genome_bases * scale))
+
+    def simulator(self, scale: float | None = None) -> ReadSimulator:
+        """Build the deterministic read simulator for this dataset."""
+        genome = simulate_genome(self.genome_length(scale), seed=self.seed)
+        return ReadSimulator(
+            genome=genome,
+            read_length=self.read_length,
+            coverage=self.coverage,
+            error_rate=self.error_rate,
+            seed=self.seed + 1,
+        )
+
+    def scaled_reads(self, scale: float | None = None) -> int:
+        """Number of reads the scaled analog will contain."""
+        return self.simulator(scale).n_reads
+
+
+def _table1() -> dict[str, DatasetSpec]:
+    # Genome sizes: human chr14 ≈ 88 Mbp (GAGE), B. terrestris ≈ 249 Mbp,
+    # M. undulatus ≈ 1.2 Gbp, human ≈ 3.1 Gbp.
+    return {
+        spec.name: spec
+        for spec in (
+            DatasetSpec(
+                name="hchr14_sim",
+                paper_name="H.Chr 14",
+                read_length=101,
+                min_overlap=63,
+                paper=PaperScale(45_711_162, 4_559_613_772, int(9.2e9), 88_000_000),
+            ),
+            DatasetSpec(
+                name="bumblebee_sim",
+                paper_name="Bumblebee",
+                read_length=124,
+                min_overlap=85,
+                paper=PaperScale(316_172_570, 33_562_702_234, int(85e9), 249_000_000),
+            ),
+            DatasetSpec(
+                name="parakeet_sim",
+                paper_name="Parakeet",
+                read_length=150,
+                min_overlap=111,
+                paper=PaperScale(608_709_922, 91_306_488_300, int(203e9), 1_200_000_000),
+            ),
+            DatasetSpec(
+                name="hgenome_sim",
+                paper_name="H.Genome",
+                read_length=100,
+                min_overlap=63,
+                paper=PaperScale(1_247_518_392, 124_751_839_200, int(398e9), 3_100_000_000),
+            ),
+        )
+    }
+
+
+_REGISTRY = _table1()
+
+
+def dataset_registry() -> dict[str, DatasetSpec]:
+    """All registered Table I analog specs, keyed by ``name``."""
+    return dict(_REGISTRY)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up one spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(f"unknown dataset {name!r}; options: {sorted(_REGISTRY)}") from None
+
+
+@dataclass(frozen=True)
+class MaterializedDataset:
+    """On-disk artefacts of a materialized dataset."""
+
+    spec: DatasetSpec
+    scale: float
+    root: Path
+    genome_path: Path
+    store_path: Path
+    n_reads: int
+    n_bases: int
+
+    def open_store(self, meter=None) -> PackedReadStore:
+        """Open the packed read store for streaming."""
+        return PackedReadStore.open(self.store_path, meter)
+
+    def genome(self):
+        """Load the reference genome codes (for quality metrics)."""
+        import numpy as np
+
+        return np.load(self.genome_path)
+
+
+def materialize_dataset(spec: DatasetSpec | str, root: str | Path,
+                        scale: float | None = None) -> MaterializedDataset:
+    """Generate (or reuse a cached copy of) a dataset's on-disk artefacts.
+
+    Produces the reference genome (``genome.npy``) and the packed read store
+    (``reads.lsgr``) under ``root/<name>-<hash>/``. Idempotent: a matching
+    cached copy is reused.
+    """
+    if isinstance(spec, str):
+        spec = get_dataset(spec)
+    scale = active_scale() if scale is None else scale
+    params = {
+        "name": spec.name,
+        "read_length": spec.read_length,
+        "scale": scale,
+        "seed": spec.seed,
+        "error_rate": spec.error_rate,
+        "coverage": round(spec.coverage, 6),
+    }
+    digest = hashlib.sha256(json.dumps(params, sort_keys=True).encode()).hexdigest()[:12]
+    root = Path(root)
+    target = root / f"{spec.name}-{digest}"
+    genome_path = target / "genome.npy"
+    store_path = target / "reads.lsgr"
+    manifest_path = target / "manifest.json"
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+        return MaterializedDataset(
+            spec, scale, target, genome_path, store_path,
+            manifest["n_reads"], manifest["n_bases"],
+        )
+    target.mkdir(parents=True, exist_ok=True)
+    simulator = spec.simulator(scale)
+    import numpy as np
+
+    np.save(genome_path, simulator.genome)
+    with PackedReadStore.create(store_path, spec.read_length) as store:
+        for batch in simulator.batches():
+            store.append_batch(batch)
+        n_reads = store.n_reads
+    n_bases = n_reads * spec.read_length
+    manifest_path.write_text(json.dumps({**params, "n_reads": n_reads, "n_bases": n_bases}))
+    return MaterializedDataset(spec, scale, target, genome_path, store_path, n_reads, n_bases)
+
+
+def tiny_dataset(tmp_root: str | Path, *, genome_length: int = 2000, read_length: int = 50,
+                 coverage: float = 20.0, min_overlap: int = 25, seed: int = 3,
+                 error_rate: float = 0.0) -> tuple[MaterializedDataset, ReadBatch]:
+    """Create an ad-hoc miniature dataset (test helper, not in the registry).
+
+    Returns the materialized artefacts plus the full in-memory read batch.
+    """
+    genome = simulate_genome(genome_length, seed=seed)
+    simulator = ReadSimulator(genome=genome, read_length=read_length, coverage=coverage,
+                              seed=seed + 1, error_rate=error_rate)
+    root = Path(tmp_root) / f"tiny-{genome_length}-{read_length}-{seed}"
+    root.mkdir(parents=True, exist_ok=True)
+    import numpy as np
+
+    genome_path = root / "genome.npy"
+    np.save(genome_path, genome)
+    store_path = root / "reads.lsgr"
+    with PackedReadStore.create(store_path, read_length) as store:
+        for batch in simulator.batches():
+            store.append_batch(batch)
+        n_reads = store.n_reads
+    spec = DatasetSpec(
+        name="tiny",
+        paper_name="Tiny",
+        read_length=read_length,
+        min_overlap=min_overlap,
+        paper=PaperScale(n_reads, n_reads * read_length, n_reads * read_length * 2,
+                         genome_length),
+        seed=seed,
+        error_rate=error_rate,
+    )
+    materialized = MaterializedDataset(spec, 1.0, root, genome_path, store_path,
+                                       n_reads, n_reads * read_length)
+    return materialized, simulator.all_reads()

@@ -1,0 +1,83 @@
+"""Fixed-length read batches.
+
+Illumina runs produce reads of one fixed length per dataset (Table I:
+100–150 bp), which is what makes the paper's block-per-read GPU kernels and
+per-length partitioning work. :class:`ReadBatch` models a batch of such reads
+as a dense ``(n_reads, read_length)`` ``uint8`` code matrix plus the global
+read-id of its first row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DatasetError
+from .alphabet import decode, encode, reverse_complement
+
+
+@dataclass(frozen=True)
+class ReadBatch:
+    """A contiguous batch of fixed-length reads.
+
+    Attributes
+    ----------
+    codes:
+        ``(n_reads, read_length)`` ``uint8`` matrix of 2-bit base codes.
+    start_id:
+        Global index of the first read; row ``i`` is read ``start_id + i``.
+    """
+
+    codes: np.ndarray
+    start_id: int = 0
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.codes, dtype=np.uint8)
+        if codes.ndim != 2:
+            raise DatasetError("ReadBatch requires a 2-D (n_reads, read_length) matrix")
+        object.__setattr__(self, "codes", codes)
+        if self.start_id < 0:
+            raise DatasetError("start_id must be non-negative")
+
+    @staticmethod
+    def from_strings(reads: list[str] | tuple[str, ...], *, start_id: int = 0,
+                     on_invalid: str = "strict") -> "ReadBatch":
+        """Build a batch from equal-length ASCII reads."""
+        if not reads:
+            return ReadBatch(np.empty((0, 0), dtype=np.uint8), start_id)
+        length = len(reads[0])
+        if any(len(r) != length for r in reads):
+            raise DatasetError("all reads in a batch must have the same length")
+        flat = encode("".join(reads), on_invalid=on_invalid)
+        return ReadBatch(flat.reshape(len(reads), length), start_id)
+
+    @property
+    def n_reads(self) -> int:
+        """Number of reads in the batch."""
+        return self.codes.shape[0]
+
+    @property
+    def read_length(self) -> int:
+        """Length of every read in the batch."""
+        return self.codes.shape[1]
+
+    @property
+    def read_ids(self) -> np.ndarray:
+        """Global read-ids of the rows, ``uint32``."""
+        return (self.start_id + np.arange(self.n_reads, dtype=np.uint64)).astype(np.uint32)
+
+    def reverse_complements(self) -> "ReadBatch":
+        """The reverse complement of every read, same ids."""
+        return ReadBatch(reverse_complement(self.codes), self.start_id)
+
+    def strings(self) -> list[str]:
+        """Decode all reads to ASCII (test/debug helper; O(n·L) strings)."""
+        return [decode(row) for row in self.codes]
+
+    def __len__(self) -> int:
+        return self.n_reads
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.codes)

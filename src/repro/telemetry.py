@@ -1,0 +1,179 @@
+"""Per-phase telemetry for pipeline runs.
+
+The evaluation section of the paper reports, per assembly phase, the wall
+time (Tables II/III) and the peak host/device memory (Tables IV/V). This
+module provides the plumbing that gathers those numbers during a run:
+
+* a :class:`Meter` protocol — anything exposing monotonically increasing
+  counters and resettable high-water gauges,
+* :class:`Telemetry` — registers meters and, via :meth:`Telemetry.phase`,
+  snapshots counter deltas and gauge peaks per named phase,
+* :class:`PhaseStats` — the per-phase record the benchmarks render.
+
+Meters are implemented by the device/host memory pools, the simulated clock
+and the I/O accountant; the pipeline only talks to this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Protocol
+
+from .units import format_duration, format_size
+
+
+class Meter(Protocol):
+    """A telemetry source.
+
+    ``counters()`` returns monotonically increasing totals (e.g. bytes read);
+    ``peaks()`` returns high-water gauges since the last ``reset_peaks()``
+    (e.g. peak device bytes).
+    """
+
+    def counters(self) -> Mapping[str, float]:
+        """Monotonically increasing totals."""
+        ...
+
+    def peaks(self) -> Mapping[str, float]:
+        """High-water gauges since the last reset."""
+        ...
+
+    def reset_peaks(self) -> None:
+        """Reset gauges to their current values."""
+        ...
+
+
+@dataclass
+class PhaseStats:
+    """Everything recorded about one pipeline phase.
+
+    ``counters`` holds deltas of every registered meter counter over the
+    phase; ``peaks`` holds each gauge's high-water mark within the phase.
+    """
+
+    name: str
+    wall_seconds: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    peaks: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Modeled (simulated-hardware) seconds accrued during the phase."""
+        return self.counters.get("sim_seconds", 0.0)
+
+    def merged_with(self, other: "PhaseStats") -> "PhaseStats":
+        """Combine two phases of the same name (times add, peaks max)."""
+        merged = PhaseStats(self.name, self.wall_seconds + other.wall_seconds)
+        for key in set(self.counters) | set(other.counters):
+            merged.counters[key] = self.counters.get(key, 0.0) + other.counters.get(key, 0.0)
+        for key in set(self.peaks) | set(other.peaks):
+            merged.peaks[key] = max(self.peaks.get(key, 0.0), other.peaks.get(key, 0.0))
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by verbose pipeline logs."""
+        parts = [f"{self.name}: wall={format_duration(self.wall_seconds)}"]
+        if "sim_seconds" in self.counters:
+            parts.append(f"sim={format_duration(self.sim_seconds)}")
+        for key in ("disk_read_bytes", "disk_write_bytes"):
+            if self.counters.get(key):
+                parts.append(f"{key.split('_')[1]}={format_size(self.counters[key])}")
+        for key, value in self.peaks.items():
+            parts.append(f"peak_{key}={format_size(value)}")
+        return " ".join(parts)
+
+
+class _PhaseContext:
+    """Context manager produced by :meth:`Telemetry.phase`."""
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+        self._start_wall = 0.0
+        self._start_counters: dict[str, float] = {}
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start_counters = self._telemetry._counter_totals()
+        for meter in self._telemetry._meters:
+            meter.reset_peaks()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._start_wall
+        stats = PhaseStats(self._name, wall_seconds=wall)
+        end_counters = self._telemetry._counter_totals()
+        for key, value in end_counters.items():
+            stats.counters[key] = value - self._start_counters.get(key, 0.0)
+        for meter in self._telemetry._meters:
+            for key, value in meter.peaks().items():
+                stats.peaks[key] = max(stats.peaks.get(key, 0.0), value)
+        self._telemetry._record(stats)
+
+
+class Telemetry:
+    """Collects :class:`PhaseStats` for a pipeline run.
+
+    Phases with the same name occurring more than once (e.g. per-partition
+    sort rounds) are merged: wall times and counters accumulate, peaks take
+    the maximum — matching how the paper reports one row per phase.
+    """
+
+    def __init__(self) -> None:
+        self._meters: list[Meter] = []
+        self._phases: dict[str, PhaseStats] = {}
+        self._order: list[str] = []
+
+    def register(self, meter: Meter) -> None:
+        """Attach a telemetry source; subsequent phases include its data."""
+        self._meters.append(meter)
+
+    def phase(self, name: str) -> _PhaseContext:
+        """Measure one phase: ``with telemetry.phase("sort"): ...``."""
+        return _PhaseContext(self, name)
+
+    def _counter_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for meter in self._meters:
+            for key, value in meter.counters().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def _record(self, stats: PhaseStats) -> None:
+        if stats.name in self._phases:
+            self._phases[stats.name] = self._phases[stats.name].merged_with(stats)
+        else:
+            self._phases[stats.name] = stats
+            self._order.append(stats.name)
+
+    def __iter__(self) -> Iterator[PhaseStats]:
+        return (self._phases[name] for name in self._order)
+
+    def __getitem__(self, name: str) -> PhaseStats:
+        return self._phases[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._phases
+
+    @property
+    def phases(self) -> list[PhaseStats]:
+        """Recorded phases in first-seen order."""
+        return [self._phases[name] for name in self._order]
+
+    def total_wall_seconds(self) -> float:
+        """Sum of wall time over all recorded phases."""
+        return sum(stats.wall_seconds for stats in self)
+
+    def total_sim_seconds(self) -> float:
+        """Sum of modeled hardware time over all recorded phases."""
+        return sum(stats.sim_seconds for stats in self)
+
+    def report(self) -> str:
+        """Multi-line report, one row per phase plus a total row."""
+        lines = [stats.summary() for stats in self]
+        lines.append(
+            f"total: wall={format_duration(self.total_wall_seconds())} "
+            f"sim={format_duration(self.total_sim_seconds())}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AssemblyConfig, MemoryConfig
+from repro.seq.datasets import tiny_dataset
+from repro.seq.records import ReadBatch
+from repro.seq.simulate import ReadSimulator, simulate_genome
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def tiny(tmp_path_factory):
+    """A miniature materialized dataset plus its in-memory reads.
+
+    Session-scoped: the artefacts are read-only; assemblies use private
+    workdirs.
+    """
+    root = tmp_path_factory.mktemp("tiny-data")
+    return tiny_dataset(root, genome_length=2000, read_length=50,
+                        coverage=20.0, min_overlap=25, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_md(tiny):
+    return tiny[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_batch(tiny) -> ReadBatch:
+    return tiny[1]
+
+
+@pytest.fixture()
+def laptop_config() -> AssemblyConfig:
+    """Default single-batch configuration for small functional tests."""
+    return AssemblyConfig(min_overlap=25)
+
+
+@pytest.fixture()
+def cramped_config() -> AssemblyConfig:
+    """A configuration forcing multi-pass external sorting via the explicit
+    block-size overrides (the same knobs the Fig. 8 sweep uses)."""
+    return AssemblyConfig(
+        min_overlap=25,
+        host_block_pairs=500,
+        device_block_pairs=128,
+    )
+
+
+def make_reads(genome_length: int = 1200, read_length: int = 40,
+               coverage: float = 15.0, seed: int = 5,
+               error_rate: float = 0.0) -> ReadBatch:
+    """Helper: simulate an in-memory read batch."""
+    genome = simulate_genome(genome_length, seed=seed)
+    return ReadSimulator(genome=genome, read_length=read_length,
+                         coverage=coverage, seed=seed + 1,
+                         error_rate=error_rate).all_reads()

@@ -1,0 +1,65 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import AsciiChart
+from repro.errors import ConfigError
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = AsciiChart("demo", ["1", "2", "4"])
+        chart.add_series("up", [1.0, 2.0, 3.0])
+        chart.add_series("down", [3.0, 2.0, 1.0])
+        text = chart.render()
+        assert "demo" in text
+        assert "o=up" in text and "x=down" in text
+        # downward series' glyph appears above the upward one's in column 0
+        lines = text.splitlines()
+        first_col = [line for line in lines if "o" in line or "x" in line]
+        assert first_col
+
+    def test_log_scale(self):
+        chart = AsciiChart("log", ["a", "b"], y_log=True)
+        chart.add_series("s", [1.0, 1000.0])
+        assert "[log y]" in chart.render()
+
+    def test_log_rejects_nonpositive(self):
+        chart = AsciiChart("log", ["a"], y_log=True)
+        chart.add_series("s", [0.0])
+        with pytest.raises(ConfigError):
+            chart.render()
+
+    def test_length_mismatch(self):
+        chart = AsciiChart("x", ["a", "b"])
+        with pytest.raises(ConfigError):
+            chart.add_series("s", [1.0])
+
+    def test_empty_chart(self):
+        with pytest.raises(ConfigError):
+            AsciiChart("x", ["a"]).render()
+
+    def test_overlap_marker(self):
+        chart = AsciiChart("x", ["a"], height=5)
+        chart.add_series("s1", [1.0])
+        chart.add_series("s2", [1.0])
+        assert "!" in chart.render()
+
+    def test_constant_series(self):
+        chart = AsciiChart("flat", ["a", "b", "c"])
+        chart.add_series("s", [5.0, 5.0, 5.0])
+        text = chart.render()  # zero span must not divide by zero
+        assert text.count("o") >= 3
+
+    def test_monotone_series_monotone_rows(self):
+        chart = AsciiChart("mono", ["1", "2", "3", "4"], height=9)
+        chart.add_series("s", [1.0, 2.0, 3.0, 4.0])
+        rows = {}
+        for row_index, line in enumerate(chart.render().splitlines()):
+            if "|" not in line:
+                continue  # skip title/axis/legend lines
+            for col, char in enumerate(line.split("|", 1)[1]):
+                if char == "o":
+                    rows[col] = row_index
+        ordered = [rows[c] for c in sorted(rows)]
+        assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,86 @@
+"""De Bruijn assembler and the repeat-collapse demonstration."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeBruijnAssembler
+from repro.baselines.debruijn import encode_kmers
+from repro.errors import ConfigError
+from repro.seq.alphabet import decode, encode, reverse_complement
+from repro.seq.records import ReadBatch
+from repro.seq.simulate import ReadSimulator, simulate_genome
+
+
+class TestEncodeKmers:
+    def test_known_values(self):
+        codes = encode("ACGT")[None, :]
+        kmers = encode_kmers(codes, 2)
+        # AC=0b0001, CG=0b0110, GT=0b1011
+        assert kmers.tolist() == [1, 6, 11]
+
+    def test_count(self):
+        codes = np.zeros((3, 10), dtype=np.uint8)
+        assert encode_kmers(codes, 4).shape[0] == 3 * 7
+
+    def test_validation(self):
+        codes = np.zeros((1, 10), dtype=np.uint8)
+        with pytest.raises(ConfigError):
+            encode_kmers(codes, 1)
+        with pytest.raises(ConfigError):
+            encode_kmers(codes, 11)
+
+
+class TestAssembly:
+    def _reads(self, genome):
+        return ReadSimulator(genome=genome, read_length=40, coverage=20.0,
+                             seed=3).all_reads()
+
+    def test_contigs_are_genome_substrings(self):
+        genome = simulate_genome(900, seed=12)
+        result = DeBruijnAssembler(k=21).assemble(self._reads(genome))
+        forward = decode(genome)
+        backward = decode(reverse_complement(genome))
+        for contig in result.contigs:
+            text = decode(contig)
+            assert text in forward or text in backward
+
+    def test_repeat_free_genome_assembles_long(self):
+        genome = simulate_genome(900, seed=12)
+        result = DeBruijnAssembler(k=21).assemble(self._reads(genome))
+        assert result.stats()["n50"] > 500
+
+    def test_repeats_longer_than_k_collapse(self):
+        """The paper's §II.A.1 motivation: repeats longer than k (but shorter
+        than a read) shatter the de Bruijn assembly while leaving the string
+        graph essentially untouched. Compare each assembler against itself
+        with and without repeats."""
+        from repro.baselines import SGAAssembler
+
+        def n50s(repeat_fraction):
+            genome = simulate_genome(3000, seed=13,
+                                     repeat_fraction=repeat_fraction,
+                                     repeat_length=30)
+            reads = ReadSimulator(genome=genome, read_length=40,
+                                  coverage=30.0, seed=3).all_reads()
+            debruijn = DeBruijnAssembler(k=21).assemble(reads).stats()["n50"]
+            string_graph = SGAAssembler(min_overlap=20).assemble(reads)
+            return debruijn, string_graph.stats()["n50"]
+
+        debruijn_clean, sg_clean = n50s(0.0)
+        debruijn_repeat, sg_repeat = n50s(0.25)
+        debruijn_degradation = debruijn_clean / debruijn_repeat
+        sg_degradation = sg_clean / max(1, sg_repeat)
+        assert debruijn_degradation > 5.0
+        assert sg_degradation < 1.5
+        assert debruijn_degradation > 3 * sg_degradation
+
+    def test_min_count_filters_noise(self):
+        genome = simulate_genome(600, seed=14)
+        reads = self._reads(genome)
+        strict = DeBruijnAssembler(k=21, min_count=2).assemble(reads)
+        loose = DeBruijnAssembler(k=21, min_count=1).assemble(reads)
+        assert strict.n_kmers <= loose.n_kmers
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeBruijnAssembler(k=5, min_count=0)

@@ -1,0 +1,101 @@
+"""Suffix array, BWT, and FM-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import FMIndex, suffix_array
+from repro.baselines.suffix_array import bwt_from_sa
+from repro.errors import ConfigError
+
+texts = st.lists(st.integers(0, 4), min_size=0, max_size=300)
+
+
+class TestSuffixArray:
+    @given(texts)
+    @settings(max_examples=60)
+    def test_matches_sorted_suffixes(self, values):
+        text = np.array(values, dtype=np.uint8)
+        sa = suffix_array(text)
+        reference = sorted(range(len(values)), key=lambda i: tuple(values[i:]))
+        assert sa.tolist() == reference
+
+    def test_empty(self):
+        assert suffix_array(np.array([], dtype=np.uint8)).shape == (0,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            suffix_array(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_repetitive_text(self):
+        text = np.array([1, 1, 1, 1, 1], dtype=np.uint8)
+        sa = suffix_array(text)
+        assert sa.tolist() == [4, 3, 2, 1, 0]
+
+    @given(texts.filter(lambda v: len(v) > 0))
+    @settings(max_examples=30)
+    def test_bwt_is_permutation(self, values):
+        text = np.array(values, dtype=np.uint8)
+        bwt = bwt_from_sa(text, suffix_array(text))
+        assert sorted(bwt.tolist()) == sorted(values)
+
+
+class TestFMIndex:
+    @pytest.fixture()
+    def index_and_reads(self, rng):
+        oriented = rng.integers(0, 4, (20, 15), dtype=np.uint8)
+        return FMIndex(oriented), oriented
+
+    def test_backward_search_counts_occurrences(self, index_and_reads, rng):
+        index, oriented = index_and_reads
+        text = index.text
+        for _ in range(20):
+            row = rng.integers(0, oriented.shape[0])
+            start = rng.integers(0, oriented.shape[1] - 3)
+            pattern = oriented[row, start:start + 3] + 1
+            lo, hi = index.whole_range(1)
+            for symbol in pattern[::-1]:
+                lo, hi = index.backward_extend(lo, hi, np.array([symbol]))
+            expected = 0
+            for position in range(text.shape[0] - 2):
+                if np.array_equal(text[position:position + 3], pattern):
+                    expected += 1
+            assert hi[0] - lo[0] == expected
+
+    def test_string_starts(self, index_and_reads):
+        index, oriented = index_and_reads
+        # search for read 7's full prefix of length 6
+        pattern = oriented[7, :6] + 1
+        lo, hi = index.whole_range(1)
+        for symbol in pattern[::-1]:
+            lo, hi = index.backward_extend(lo, hi, np.array([symbol]))
+        ids = index.string_ids_in_interval(int(lo[0]), int(hi[0]))
+        assert 7 in ids.tolist()
+        # every id returned really starts with the pattern
+        for string_id in ids:
+            assert np.array_equal(oriented[string_id, :6] + 1, pattern)
+
+    def test_count_matches_enumeration(self, index_and_reads):
+        index, oriented = index_and_reads
+        lo, hi = index.whole_range(oriented.shape[0])
+        symbols = oriented[:, -1].astype(np.int64) + 1
+        lo, hi = index.backward_extend(lo, hi, symbols)
+        counts = index.count_string_starts(lo, hi)
+        for row in range(oriented.shape[0]):
+            expected = int((oriented[:, 0] == oriented[row, -1]).sum())
+            assert counts[row] == expected
+
+    def test_empty_interval_stays_empty(self, index_and_reads):
+        index, _ = index_and_reads
+        lo = np.array([5], dtype=np.int64)
+        hi = np.array([5], dtype=np.int64)
+        lo2, hi2 = index.backward_extend(lo, hi, np.array([2]))
+        assert lo2[0] == hi2[0]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigError):
+            FMIndex(np.zeros(5, dtype=np.uint8))
+
+    def test_nbytes_positive(self, index_and_reads):
+        index, _ = index_and_reads
+        assert index.nbytes > index.n_text

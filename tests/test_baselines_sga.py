@@ -1,0 +1,77 @@
+"""The SGA-analog baseline."""
+
+import pytest
+
+from repro.analysis import contig_accuracy
+from repro.baselines import SGAAssembler, exact_overlaps
+from repro.baselines.sga import SGA_MODEL_BYTES_PER_BASE
+from repro.errors import HostMemoryError
+
+
+class TestOverlaps:
+    def test_overlap_set_equals_naive(self, tiny_batch):
+        """The FM-index sweep finds exactly the exact-overlap set."""
+        import numpy as np
+        from repro.baselines.fm_index import FMIndex
+
+        sga = SGAAssembler(min_overlap=25)
+        oriented = np.empty((2 * tiny_batch.n_reads, tiny_batch.read_length),
+                            dtype=np.uint8)
+        oriented[0::2] = tiny_batch.codes
+        oriented[1::2] = tiny_batch.reverse_complements().codes
+        found = sga._find_overlaps(FMIndex(oriented), oriented)
+        got = {(int(s), int(t), l)
+               for l, (ss, tt) in found.items() for s, t in zip(ss, tt)}
+        assert got == set(exact_overlaps(tiny_batch, 25))
+
+
+class TestAssembly:
+    def test_end_to_end(self, tiny_md, tiny_batch):
+        sga = SGAAssembler(min_overlap=25)
+        result = sga.assemble(tiny_batch)
+        assert result.n_overlaps > 0
+        assert set(result.phase_seconds) == {"preprocess", "index", "overlap",
+                                             "assemble"}
+        assert result.overlap_pipeline_seconds > 0
+        accuracy = contig_accuracy(result.contigs, tiny_md.genome())
+        assert accuracy["incorrect"] == 0
+
+    def test_stats(self, tiny_batch):
+        result = SGAAssembler(min_overlap=25).assemble(tiny_batch)
+        stats = result.stats()
+        assert stats["n_contigs"] == result.contigs.n_contigs
+
+
+class TestMemoryModel:
+    def test_modeled_footprint(self):
+        sga = SGAAssembler(min_overlap=25)
+        assert sga.modeled_index_bytes(1000, 100) == int(100_000 * SGA_MODEL_BYTES_PER_BASE)
+
+    def test_oom_when_over_budget(self, tiny_batch):
+        bases = tiny_batch.n_reads * tiny_batch.read_length
+        budget = int(bases * SGA_MODEL_BYTES_PER_BASE) - 1
+        sga = SGAAssembler(min_overlap=25, host_budget_bytes=budget)
+        with pytest.raises(HostMemoryError, match="exceeds the host budget"):
+            sga.assemble(tiny_batch)
+
+    def test_fits_when_under_budget(self, tiny_batch):
+        bases = tiny_batch.n_reads * tiny_batch.read_length
+        sga = SGAAssembler(min_overlap=25,
+                           host_budget_bytes=int(bases * SGA_MODEL_BYTES_PER_BASE) + 1)
+        assert sga.assemble(tiny_batch).n_overlaps > 0
+
+    def test_table6_oom_pattern_reproduces_at_scale(self):
+        """With the fitted constant, exactly the paper's OOM cell appears:
+        H.Genome on the 64 GB-analog, and only that cell."""
+        from repro.config import MemoryConfig
+        from repro.seq.datasets import dataset_registry
+
+        sga = SGAAssembler(min_overlap=63)
+        for preset, expect_oom in (("supermic", {"hgenome_sim"}), ("qb2", set())):
+            budget = MemoryConfig.preset(preset).host_bytes
+            oom = {
+                spec.name
+                for spec in dataset_registry().values()
+                if sga.modeled_index_bytes(spec.paper.reads, spec.read_length) > budget
+            }
+            assert oom == expect_oom

@@ -1,0 +1,97 @@
+"""The lasagna CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        from repro import __version__
+        assert __version__ in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_simulate_assemble_stats_flow(self, tmp_path, capsys):
+        reads = tmp_path / "reads.fastq"
+        genome = tmp_path / "genome.fasta"
+        contigs = tmp_path / "contigs.fasta"
+        assert main(["simulate-reads", "--genome-length", "1500",
+                     "--read-length", "50", "--coverage", "12",
+                     "-o", str(reads), "--genome-out", str(genome)]) == 0
+        assert reads.exists() and genome.exists()
+
+        assert main(["assemble", str(reads), "--min-overlap", "25",
+                     "-o", str(contigs)]) == 0
+        out = capsys.readouterr().out
+        assert "contigs" in out
+        assert contigs.exists()
+
+        assert main(["stats", str(contigs)]) == 0
+        assert "n50" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "hgenome_sim" in out and "H.Genome" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "--dataset", "hchr14_sim", "--memory", "qb2",
+                     "--device", "K40"]) == 0
+        out = capsys.readouterr().out
+        assert "sort" in out and "total" in out
+
+    def test_correct_reads(self, tmp_path, capsys):
+        reads = tmp_path / "noisy.fastq"
+        fixed = tmp_path / "fixed.fastq"
+        main(["simulate-reads", "--genome-length", "1500", "--read-length", "50",
+              "--coverage", "20", "--error-rate", "0.01", "-o", str(reads)])
+        assert main(["correct-reads", str(reads), "-o", str(fixed),
+                     "--k", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out and fixed.exists()
+        from repro.seq.fastq import read_fastq
+        n_fixed = sum(1 for _ in read_fastq(fixed))
+        assert 0 < n_fixed <= 600
+
+    def test_distributed(self, tmp_path, capsys):
+        reads = tmp_path / "r.fastq"
+        contigs = tmp_path / "c.fasta"
+        main(["simulate-reads", "--genome-length", "1200", "--read-length", "40",
+              "--coverage", "12", "-o", str(reads)])
+        assert main(["distributed", str(reads), "--nodes", "3",
+                     "--min-overlap", "20", "-o", str(contigs)]) == 0
+        out = capsys.readouterr().out
+        assert "3 simulated nodes" in out and "shuffle" in out
+        assert contigs.exists()
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out and "Fig. 9" in out and "Fig. 10" in out
+        assert "V100" in out
+
+    def test_assemble_gfa_export(self, tmp_path, capsys):
+        reads = tmp_path / "r.fastq"
+        gfa = tmp_path / "graph.gfa"
+        main(["simulate-reads", "--genome-length", "800", "--read-length", "40",
+              "--coverage", "10", "-o", str(reads)])
+        assert main(["assemble", str(reads), "--min-overlap", "20",
+                     "--gfa", str(gfa)]) == 0
+        text = gfa.read_text()
+        assert text.startswith("H\tVN:Z:1.0")
+        assert "\nL\t" in text and "\nP\t" in text
+
+    def test_assemble_rejects_bad_overlap(self, tmp_path):
+        reads = tmp_path / "r.fastq"
+        main(["simulate-reads", "--genome-length", "500", "--read-length", "40",
+              "--coverage", "5", "-o", str(reads)])
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["assemble", str(reads), "--min-overlap", "40"])

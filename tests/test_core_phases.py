@@ -1,0 +1,155 @@
+"""Individual pipeline phases: load, map, sort, reduce, compress."""
+
+import numpy as np
+import pytest
+
+from repro.config import AssemblyConfig
+from repro.core.context import RunContext
+from repro.core.load_phase import run_load
+from repro.core.map_phase import overlap_lengths, run_map
+from repro.core.reduce_phase import run_reduce
+from repro.core.sort_phase import run_sort
+from repro.errors import ConfigError, DatasetError
+from repro.extmem.records import KEY_FIELD, VAL_FIELD
+from repro.fingerprint import FingerprintScheme
+from repro.seq.fastq import write_fastq
+
+
+@pytest.fixture()
+def ctx(tmp_path, laptop_config):
+    context = RunContext(laptop_config, workdir=tmp_path / "work")
+    yield context
+    context.cleanup()
+
+
+class TestLoad:
+    def test_from_packed_store(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        assert store.n_reads == tiny_md.n_reads
+        assert store.path.parent == ctx.workdir
+        store.close()
+
+    def test_from_fastq(self, ctx, tmp_path):
+        path = tmp_path / "in.fastq"
+        write_fastq(path, [("r0", "ACGTACGT", "I" * 8), ("r1", "TTTTACGT", "I" * 8)])
+        store = run_load(ctx, path)
+        assert store.n_reads == 2 and store.read_length == 8
+        assert store.read_slice(0, 1).strings() == ["ACGTACGT"]
+        store.close()
+
+    def test_missing_input(self, ctx, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            run_load(ctx, tmp_path / "nope.fastq")
+
+    def test_empty_input(self, ctx, tmp_path):
+        path = tmp_path / "empty.fastq"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="no reads"):
+            run_load(ctx, path)
+
+    def test_io_accounted(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        store.close()
+        assert ctx.accountant.read_bytes > 0
+        assert ctx.accountant.write_bytes > 0
+
+
+class TestMap:
+    def test_partition_inventory(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, report = run_map(ctx, store)
+        lengths = overlap_lengths(ctx, store.read_length)
+        assert partitions.lengths() == sorted(lengths)
+        # l_max is absent (self-loop partition dropped)
+        assert store.read_length not in partitions.lengths()
+        expected = 2 * 2 * store.n_reads * len(lengths)
+        assert report.tuples_written == expected
+        for length in lengths:
+            assert partitions.records_in("S", length) == 2 * store.n_reads
+            assert partitions.records_in("P", length) == 2 * store.n_reads
+        store.close()
+
+    def test_partition_contents_match_scheme(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, _ = run_map(ctx, store)
+        scheme = ctx.scheme
+        length = ctx.config.min_overlap + 2
+        with partitions.open_run("S", length) as reader:
+            records = reader.read_all()
+        batch = store.read_slice(0, store.n_reads)
+        prefix_keys, suffix_keys = scheme.key_matrices(batch.codes)
+        # forward-orientation records (even vertex ids) for this length
+        forward = records[records[VAL_FIELD] % 2 == 0]
+        read_ids = (forward[VAL_FIELD] >> 1).astype(np.int64)
+        expected = suffix_keys[0][read_ids, store.read_length - length]
+        assert np.array_equal(forward[KEY_FIELD], expected)
+        store.close()
+
+    def test_min_overlap_validation(self, tmp_path, tiny_md):
+        config = AssemblyConfig(min_overlap=500)
+        context = RunContext(config, workdir=tmp_path / "w2")
+        store = run_load(context, tiny_md.store_path)
+        with pytest.raises(ConfigError, match="min_overlap"):
+            run_map(context, store)
+        store.close()
+        context.cleanup()
+
+    def test_read_range_restricts(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, report = run_map(ctx, store, read_range=(10, 25))
+        assert report.n_reads == 15
+        assert partitions.records_in("S", ctx.config.min_overlap) == 2 * 15
+        store.close()
+
+    def test_vertex_encoding(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, _ = run_map(ctx, store)
+        with partitions.open_run("P", ctx.config.min_overlap) as reader:
+            vertices = reader.read_all()[VAL_FIELD]
+        assert vertices.max() == 2 * store.n_reads - 1
+        assert np.count_nonzero(vertices % 2 == 0) == store.n_reads
+        store.close()
+
+
+class TestSortPhase:
+    def test_all_partitions_sorted(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, _ = run_map(ctx, store)
+        report = run_sort(ctx, partitions)
+        assert report.total_records == 4 * store.n_reads * \
+            len(overlap_lengths(ctx, store.read_length))
+        for length in partitions.lengths():
+            for side in ("S", "P"):
+                assert not partitions.path(side, length).exists()
+                with partitions.open_run(side, length, sorted_run=True) as reader:
+                    keys = reader.read_all()[KEY_FIELD]
+                assert (np.diff(keys.astype(np.int64)) >= np.int64(0)).all() or \
+                    (np.sort(keys) == keys).all()
+        store.close()
+
+
+class TestReduce:
+    def test_zero_false_positives(self, ctx, tiny_md, tiny_batch):
+        from repro.baselines import exact_overlaps
+
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, _ = run_map(ctx, store)
+        run_sort(ctx, partitions)
+        graph, report = run_reduce(ctx, partitions, store)
+        graph.check_invariants()
+        truth = set(exact_overlaps(tiny_batch, ctx.config.min_overlap))
+        sources, targets, overlaps = graph.edge_list()
+        for edge in zip(sources.tolist(), targets.tolist(), overlaps.tolist()):
+            assert tuple(edge) in truth
+        # every true overlap was seen as a candidate (recall check)
+        assert report.candidates == len(truth)
+        store.close()
+
+    def test_edges_processed_longest_first(self, ctx, tiny_md):
+        store = run_load(ctx, tiny_md.store_path)
+        partitions, _ = run_map(ctx, store)
+        run_sort(ctx, partitions)
+        _, report = run_reduce(ctx, partitions, store)
+        lengths = list(report.per_length_edges)
+        assert lengths == sorted(lengths, reverse=True)
+        store.close()

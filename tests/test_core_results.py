@@ -1,0 +1,65 @@
+"""AssemblyResult surface: FASTA export, stats filters, phase access."""
+
+import pytest
+
+from repro import Assembler, AssemblyConfig
+from repro.seq.fastq import read_fasta
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    from repro.seq.datasets import tiny_dataset
+
+    root = tmp_path_factory.mktemp("results")
+    md, _ = tiny_dataset(root, genome_length=1500, read_length=50,
+                         coverage=15.0, min_overlap=25, seed=81)
+    return Assembler(AssemblyConfig(min_overlap=25)).assemble(md.store_path)
+
+
+class TestFastaExport:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "contigs.fasta"
+        written = result.write_fasta(path)
+        records = list(read_fasta(path))
+        assert len(records) == written == result.contigs.n_contigs
+        name, sequence = records[0]
+        assert name.startswith("contig.0")
+        assert f"length={len(sequence)}" in name
+
+    def test_min_length_filter(self, result, tmp_path):
+        path = tmp_path / "long.fasta"
+        written = result.write_fasta(path, min_length=100)
+        lengths = result.contig_lengths()
+        assert written == int((lengths >= 100).sum())
+        for _, sequence in read_fasta(path):
+            assert len(sequence) >= 100
+
+    def test_contig_strings_match_lengths(self, result):
+        strings = list(result.contig_strings())
+        assert [len(s) for s in strings] == result.contig_lengths().tolist()
+
+
+class TestStatsAndPhases:
+    def test_stats_min_length(self, result):
+        all_stats = result.stats()
+        long_stats = result.stats(min_length=100)
+        assert long_stats["n_contigs"] <= all_stats["n_contigs"]
+        assert long_stats["n50"] >= all_stats["n50"]
+
+    def test_phase_seconds_keys(self, result):
+        wall = result.phase_seconds()
+        sim = result.phase_seconds(simulated=True)
+        assert set(wall) == set(sim) == {"load", "map", "sort", "reduce",
+                                         "compress"}
+        assert all(v >= 0 for v in wall.values())
+
+    def test_paths_align_with_contigs(self, result):
+        assert result.paths is not None
+        assert result.paths.n_paths == result.contigs.n_contigs
+        assert result.paths.contig_lengths().tolist() \
+            == result.contig_lengths().tolist()
+
+    def test_contigset_iteration(self, result):
+        pieces = list(result.contigs)
+        assert len(pieces) == result.contigs.n_contigs
+        assert pieces[0].shape[0] == result.contig_lengths()[0]

@@ -1,0 +1,55 @@
+"""Cost model: monotonicity and hardware-ordering properties."""
+
+import pytest
+
+from repro.device import costs
+from repro.device.specs import DiskSpec, HostSpec, get_device_spec
+
+K40 = get_device_spec("K40")
+V100 = get_device_spec("V100")
+
+
+class TestKernelCosts:
+    def test_sort_linear_in_n(self):
+        t1 = costs.sort_pairs_seconds(K40, 10**6, 8, 4)
+        t2 = costs.sort_pairs_seconds(K40, 2 * 10**6, 8, 4)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_sort_scales_with_key_width(self):
+        """16-byte (128-bit) keys need twice the radix passes of 8-byte keys."""
+        t8 = costs.sort_pairs_seconds(K40, 10**6, 8, 4)
+        t16 = costs.sort_pairs_seconds(K40, 10**6, 16, 4)
+        assert t16 > t8
+
+    def test_bandwidth_ordering(self):
+        for fn in (lambda s: costs.sort_pairs_seconds(s, 10**6, 8, 4),
+                   lambda s: costs.merge_pairs_seconds(s, 10**6, 8, 4),
+                   lambda s: costs.scan_seconds(s, 10**4, 100)):
+            assert fn(V100) < fn(K40)
+
+    def test_zero_work_is_free(self):
+        assert costs.sort_pairs_seconds(K40, 0, 8, 4) == 0.0
+        assert costs.search_seconds(K40, 0, 100) == 0.0
+        assert costs.scan_seconds(K40, 0, 100) == 0.0
+        assert costs.transfer_seconds(K40, 0) == 0.0
+
+    def test_search_logarithmic_in_haystack(self):
+        small = costs.search_seconds(K40, 1000, 2**10)
+        large = costs.search_seconds(K40, 1000, 2**20)
+        assert large == pytest.approx(2 * small, rel=0.01)
+
+
+class TestTransferAndDisk:
+    def test_pcie_bandwidth(self):
+        assert costs.transfer_seconds(K40, int(6e9)) == pytest.approx(1.0)
+
+    def test_disk_rates(self):
+        disk = DiskSpec(read_bandwidth=100e6, write_bandwidth=50e6, seek_seconds=0.01)
+        assert costs.disk_read_seconds(disk, int(100e6)) == pytest.approx(1.0)
+        assert costs.disk_write_seconds(disk, int(100e6)) == pytest.approx(2.0)
+        assert costs.disk_read_seconds(disk, 0, seeks=3) == pytest.approx(0.03)
+
+    def test_host_work(self):
+        host = HostSpec()
+        assert costs.host_work_seconds(host, 10**9) > 0
+        assert costs.host_work_seconds(host, 0) == 0.0

@@ -1,0 +1,150 @@
+"""VirtualGPU: capacity enforcement, transfer metering, record kernels."""
+
+import numpy as np
+import pytest
+
+from repro.device import SimClock, VirtualGPU
+from repro.errors import ConfigError, DeviceMemoryError
+from repro.extmem.records import make_records
+
+
+@pytest.fixture()
+def gpu() -> VirtualGPU:
+    return VirtualGPU("K40", capacity_bytes=1_000_000)
+
+
+class TestTransfers:
+    def test_to_device_allocates_and_charges(self, gpu):
+        data = np.zeros(1000, dtype=np.uint64)
+        device_array = gpu.to_device(data)
+        assert gpu.pool.used_bytes == data.nbytes
+        assert gpu.clock.seconds("h2d") > 0
+        out = gpu.to_host(device_array)
+        assert np.array_equal(out, data)
+        assert gpu.clock.seconds("d2h") > 0
+        device_array.free()
+        assert gpu.pool.used_bytes == 0
+
+    def test_device_copy_is_independent(self, gpu):
+        data = np.zeros(10, dtype=np.uint8)
+        device_array = gpu.to_device(data)
+        data[0] = 7
+        assert device_array.array[0] == 0
+
+    def test_oom(self, gpu):
+        with pytest.raises(DeviceMemoryError):
+            gpu.to_device(np.zeros(2_000_000, dtype=np.uint8))
+
+    def test_use_after_free(self, gpu):
+        device_array = gpu.to_device(np.zeros(8, dtype=np.uint8))
+        device_array.free()
+        with pytest.raises(DeviceMemoryError, match="use-after-free"):
+            gpu.to_host(device_array)
+
+    def test_host_array_rejected_by_kernels(self, gpu):
+        with pytest.raises(ConfigError, match="DeviceArray"):
+            gpu.sort_pairs(np.zeros(4, dtype=np.uint64))
+
+    def test_context_manager_frees(self, gpu):
+        with gpu.to_device(np.zeros(100, dtype=np.uint8)):
+            assert gpu.pool.used_bytes == 100
+        assert gpu.pool.used_bytes == 0
+
+
+class TestKernels:
+    def test_sort_pairs(self, gpu, rng):
+        keys = rng.integers(0, 1000, 500, dtype=np.uint64)
+        values = np.arange(500, dtype=np.uint32)
+        keys_d, values_d = gpu.to_device(keys), gpu.to_device(values)
+        sorted_keys_d, sorted_values_d = gpu.sort_pairs(keys_d, values_d)
+        assert np.array_equal(sorted_keys_d.array, np.sort(keys))
+        assert np.array_equal(keys[sorted_values_d.array], sorted_keys_d.array)
+        assert gpu.clock.seconds("kernel") > 0
+
+    def test_sort_accounts_scratch(self, gpu, rng):
+        """Radix sort needs ping-pong scratch: input alone fitting is not enough."""
+        keys = rng.integers(0, 9, 50_000, dtype=np.uint64)  # 400 kB
+        values = np.arange(50_000, dtype=np.uint32)         # 200 kB
+        keys_d, values_d = gpu.to_device(keys), gpu.to_device(values)
+        with pytest.raises(DeviceMemoryError):
+            gpu.sort_pairs(keys_d, values_d)  # 600 kB in + 600 kB scratch > 1 MB
+
+    def test_merge_pairs_requires_sorted(self, gpu):
+        a = gpu.to_device(np.array([3, 1], dtype=np.uint64))
+        b = gpu.to_device(np.array([2], dtype=np.uint64))
+        from repro.errors import SortContractError
+        with pytest.raises(SortContractError):
+            gpu.merge_pairs(a, [], b, [])
+
+    def test_bounds(self, gpu):
+        haystack = gpu.to_device(np.array([1, 3, 3, 7], dtype=np.uint64))
+        queries = gpu.to_device(np.array([3, 5], dtype=np.uint64))
+        lower, upper = gpu.bounds(haystack, queries)
+        assert lower.array.tolist() == [1, 3]
+        assert upper.array.tolist() == [3, 3]
+
+    def test_exclusive_scan_and_gather(self, gpu):
+        values = gpu.to_device(np.array([2, 3, 4], dtype=np.int64))
+        scanned = gpu.exclusive_scan(values)
+        assert scanned.array.tolist() == [0, 2, 5]
+        stencil = gpu.to_device(np.array([2, 0], dtype=np.int64))
+        gathered = gpu.gather(scanned, stencil)
+        assert gathered.array.tolist() == [5, 0]
+
+
+class TestRecordKernels:
+    def _records(self, rng, n=300):
+        return make_records(rng.integers(0, 50, n, dtype=np.uint64),
+                            np.arange(n, dtype=np.uint32))
+
+    def test_sort_records_device(self, gpu, rng):
+        records = self._records(rng)
+        records_d = gpu.to_device(records)
+        sorted_d = gpu.sort_records_device(records_d)
+        keys = sorted_d.array["key"]
+        assert np.array_equal(keys, np.sort(records["key"]))
+
+    def test_merge_records_device(self, gpu, rng):
+        a = self._records(rng, 100)
+        b = self._records(rng, 60)
+        a.sort(order="key")
+        b.sort(order="key")
+        merged = gpu.merge_records_device(gpu.to_device(a), gpu.to_device(b))
+        assert np.array_equal(merged.array["key"],
+                              np.sort(np.concatenate([a["key"], b["key"]])))
+
+    def test_bounds_records(self, gpu, rng):
+        hay = self._records(rng, 200)
+        hay.sort(order="key")
+        queries = self._records(rng, 50)
+        lower, upper = gpu.bounds_records(gpu.to_device(hay), gpu.to_device(queries))
+        counts = upper.array - lower.array
+        for record, count in zip(queries, counts):
+            assert count == int((hay["key"] == record["key"]).sum())
+
+    def test_missing_key_field(self, gpu):
+        raw = gpu.to_device(np.zeros(4, dtype=np.uint64))
+        with pytest.raises(ConfigError, match="key field"):
+            gpu.sort_records_device(raw)
+
+
+class TestTimingModel:
+    def test_shared_clock(self):
+        clock = SimClock()
+        gpu = VirtualGPU("K40", capacity_bytes=10_000, clock=clock)
+        gpu.to_device(np.zeros(100, dtype=np.uint8))
+        assert clock.seconds("h2d") > 0
+
+    def test_faster_gpu_sorts_faster(self, rng):
+        keys = rng.integers(0, 99, 1000, dtype=np.uint64)
+        times = {}
+        for name in ("K40", "V100"):
+            gpu = VirtualGPU(name, capacity_bytes=10**6)
+            keys_d = gpu.to_device(keys)
+            gpu.sort_pairs(keys_d)
+            times[name] = gpu.clock.seconds("kernel")
+        assert times["V100"] < times["K40"]
+
+    def test_default_capacity_is_spec_memory(self):
+        gpu = VirtualGPU("K20X")
+        assert gpu.pool.capacity_bytes == gpu.spec.mem_bytes

@@ -1,0 +1,141 @@
+"""Numpy kernel semantics: sort, radix reference, merge, bounds, scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.kernels import (exclusive_scan, gather, lsd_radix_sort_indices,
+                                  merge_sorted_records, require_sorted, scatter,
+                                  sort_records, vectorized_bounds)
+from repro.errors import SortContractError
+
+keys_strategy = st.lists(st.integers(0, 2**64 - 1), min_size=0, max_size=300)
+
+
+def _keys(values) -> np.ndarray:
+    return np.array(values, dtype=np.uint64)
+
+
+class TestSortRecords:
+    @given(keys_strategy)
+    def test_matches_numpy_sort(self, values):
+        keys = _keys(values)
+        payload = np.arange(keys.shape[0], dtype=np.uint32)
+        sorted_keys, (sorted_payload,) = sort_records(keys, payload)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        # payload permuted consistently
+        assert np.array_equal(keys[sorted_payload], sorted_keys)
+
+    def test_payload_length_checked(self):
+        with pytest.raises(SortContractError):
+            sort_records(_keys([1, 2]), np.zeros(3, dtype=np.uint32))
+
+    @given(keys_strategy)
+    def test_stability(self, values):
+        keys = _keys(values)
+        payload = np.arange(keys.shape[0], dtype=np.int64)
+        _, (sorted_payload,) = sort_records(keys, payload)
+        # equal keys keep their original relative order
+        sorted_keys = keys[sorted_payload]
+        for i in range(1, keys.shape[0]):
+            if sorted_keys[i] == sorted_keys[i - 1]:
+                assert sorted_payload[i] > sorted_payload[i - 1]
+
+
+class TestRadixReference:
+    @given(keys_strategy)
+    @settings(max_examples=50)
+    def test_equals_stable_argsort(self, values):
+        keys = _keys(values)
+        assert np.array_equal(lsd_radix_sort_indices(keys),
+                              np.argsort(keys, kind="stable"))
+
+    def test_full_width_keys(self, rng):
+        keys = rng.integers(0, 2**63, 2000, dtype=np.uint64) * 2 + 1
+        assert np.array_equal(keys[lsd_radix_sort_indices(keys)], np.sort(keys))
+
+
+class TestMerge:
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=60)
+    def test_merge_equals_sorted_concat(self, a_vals, b_vals):
+        a = np.sort(_keys(a_vals))
+        b = np.sort(_keys(b_vals))
+        pa = np.arange(a.shape[0], dtype=np.uint32)
+        pb = np.arange(b.shape[0], dtype=np.uint32) + 1000
+        merged_keys, (merged_payload,) = merge_sorted_records(a, (pa,), b, (pb,))
+        assert np.array_equal(merged_keys, np.sort(np.concatenate([a, b])))
+        assert merged_payload.shape[0] == a.shape[0] + b.shape[0]
+
+    def test_a_precedes_equal_b(self):
+        a = _keys([5, 5])
+        b = _keys([5])
+        _, (payload,) = merge_sorted_records(a, (np.array([0, 1]),),
+                                             b, (np.array([9]),))
+        assert payload.tolist() == [0, 1, 9]
+
+    def test_structured_payloads(self):
+        dtype = np.dtype([("key", "<u8"), ("val", "<u4")])
+        a = np.array([(1, 10), (3, 30)], dtype=dtype)
+        b = np.array([(2, 20)], dtype=dtype)
+        _, (merged,) = merge_sorted_records(a["key"], (a,), b["key"], (b,))
+        assert merged["val"].tolist() == [10, 20, 30]
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SortContractError):
+            merge_sorted_records(_keys([1]), (np.zeros(1),), _keys([2]), ())
+
+
+class TestBounds:
+    @given(keys_strategy, keys_strategy)
+    @settings(max_examples=60)
+    def test_counts_are_occurrences(self, hay_vals, query_vals):
+        haystack = np.sort(_keys(hay_vals))
+        queries = _keys(query_vals)
+        lower, upper = vectorized_bounds(haystack, queries)
+        counts = upper - lower
+        for query, count in zip(queries, counts):
+            assert count == int((haystack == query).sum())
+
+    def test_lower_is_first_occurrence(self):
+        haystack = _keys([1, 3, 3, 3, 7])
+        lower, upper = vectorized_bounds(haystack, _keys([3]))
+        assert lower[0] == 1 and upper[0] == 4
+
+
+class TestScanGatherScatter:
+    def test_exclusive_scan(self):
+        assert exclusive_scan(np.array([3, 1, 4])).tolist() == [0, 3, 4]
+        assert exclusive_scan(np.array([])).tolist() == []
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    def test_scan_shifts_cumsum(self, values):
+        arr = np.array(values)
+        out = exclusive_scan(arr)
+        assert np.array_equal(out[1:], np.cumsum(arr)[:-1])
+        assert out[0] == 0
+
+    def test_gather(self):
+        source = np.array([10, 20, 30])
+        assert gather(source, np.array([2, 0])).tolist() == [30, 10]
+
+    def test_scatter(self):
+        out = scatter(np.array([5, 6]), np.array([2, 0]), 4)
+        assert out.tolist() == [6, 0, 5, 0]
+
+    def test_scatter_rejects_duplicates(self):
+        with pytest.raises(SortContractError, match="duplicates"):
+            scatter(np.array([1, 2]), np.array([0, 0]), 2)
+
+    def test_scatter_length_mismatch(self):
+        with pytest.raises(SortContractError):
+            scatter(np.array([1]), np.array([0, 1]), 2)
+
+
+class TestRequireSorted:
+    def test_accepts_sorted(self):
+        require_sorted(_keys([1, 2, 2, 9]), context="t")
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(SortContractError, match="not sorted"):
+            require_sorted(_keys([2, 1]), context="t")

@@ -1,0 +1,61 @@
+"""Edge cases for the device kernels that the main kernel tests skip."""
+
+import numpy as np
+import pytest
+
+from repro.device.kernels import (_common_dtype, merge_sorted_records,
+                                  lsd_radix_sort_indices)
+from repro.errors import SortContractError
+from repro.extmem.records import kv_dtype
+
+
+class TestCommonDtype:
+    def test_equal_structured(self):
+        a = np.zeros(1, dtype=kv_dtype(1))
+        assert _common_dtype(a, a) == kv_dtype(1)
+
+    def test_mismatched_structured_rejected(self):
+        a = np.zeros(1, dtype=kv_dtype(1))
+        b = np.zeros(1, dtype=kv_dtype(2))
+        with pytest.raises(SortContractError, match="record dtypes"):
+            _common_dtype(a, b)
+
+    def test_scalar_promotion(self):
+        a = np.zeros(1, dtype=np.uint32)
+        b = np.zeros(1, dtype=np.uint64)
+        assert _common_dtype(a, b) == np.uint64
+
+
+class TestMergeEdges:
+    def test_empty_both_sides(self):
+        empty = np.empty(0, dtype=np.uint64)
+        keys, (payload,) = merge_sorted_records(empty, (empty.copy(),),
+                                                empty, (empty.copy(),))
+        assert keys.shape[0] == 0 and payload.shape[0] == 0
+
+    def test_one_empty_side(self):
+        a = np.array([1, 2], dtype=np.uint64)
+        empty = np.empty(0, dtype=np.uint64)
+        keys, (payload,) = merge_sorted_records(a, (a.copy(),), empty,
+                                                (empty.copy(),))
+        assert keys.tolist() == [1, 2]
+
+    def test_all_equal_keys(self):
+        a = np.array([7, 7, 7], dtype=np.uint64)
+        b = np.array([7, 7], dtype=np.uint64)
+        pa = np.array([0, 1, 2], dtype=np.int64)
+        pb = np.array([10, 11], dtype=np.int64)
+        _, (payload,) = merge_sorted_records(a, (pa,), b, (pb,))
+        assert payload.tolist() == [0, 1, 2, 10, 11]  # A before B, stable
+
+
+class TestRadixEdges:
+    def test_empty_and_singleton(self):
+        assert lsd_radix_sort_indices(np.empty(0, dtype=np.uint64)).shape == (0,)
+        assert lsd_radix_sort_indices(np.array([5], dtype=np.uint64)).tolist() \
+            == [0]
+
+    def test_extreme_values(self):
+        keys = np.array([2**64 - 1, 0, 2**63, 1], dtype=np.uint64)
+        order = lsd_radix_sort_indices(keys)
+        assert keys[order].tolist() == [0, 1, 2**63, 2**64 - 1]

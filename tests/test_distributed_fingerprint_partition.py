@@ -1,0 +1,84 @@
+"""The fingerprint-range partitioned reduce (paper future work, D5)."""
+
+import numpy as np
+import pytest
+
+from repro import AssemblyConfig
+from repro.core.context import RunContext
+from repro.core.load_phase import run_load
+from repro.core.map_phase import run_map
+from repro.core.reduce_phase import run_reduce
+from repro.core.sort_phase import run_sort
+from repro.device.specs import DiskSpec
+from repro.distributed.fingerprint_partition import (
+    _range_boundaries, reduce_fingerprint_partitioned)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def prepared(tmp_path_factory):
+    """Sorted partitions + the standard reduce's graph, built once."""
+    from repro.seq.datasets import tiny_dataset
+
+    root = tmp_path_factory.mktemp("fp-reduce")
+    md, _ = tiny_dataset(root, genome_length=1500, read_length=50,
+                         coverage=18.0, min_overlap=25, seed=61)
+    config = AssemblyConfig(min_overlap=25)
+    ctx = RunContext(config, workdir=root / "work")
+    store = run_load(ctx, md.store_path)
+    partitions, _ = run_map(ctx, store)
+    run_sort(ctx, partitions)
+    graph, report = run_reduce(ctx, partitions, store)
+    return config, partitions, store, graph, report
+
+
+class TestBoundaries:
+    def test_cover_key_space(self):
+        boundaries = _range_boundaries(4)
+        assert boundaries[0] == 0
+        assert boundaries[-1] >= 2**62  # beyond any packed 62-bit key
+        assert (np.diff(boundaries.astype(np.float64)) > 0).all()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 3, 8])
+    def test_candidates_and_edges_match_standard_reduce(self, prepared, n_nodes):
+        config, partitions, store, base_graph, base_report = prepared
+        result = reduce_fingerprint_partitioned(config, partitions, store, n_nodes)
+        result.graph.check_invariants()
+        assert result.report.candidates == base_report.candidates
+        assert result.graph.n_edges == base_graph.n_edges
+
+    def test_edge_lists_identical_across_node_counts(self, prepared):
+        config, partitions, store, _, _ = prepared
+        lists = []
+        for n in (1, 4):
+            result = reduce_fingerprint_partitioned(config, partitions, store, n)
+            lists.append(result.graph.edge_list())
+        for a, b in zip(*lists):
+            assert np.array_equal(a, b)
+
+
+class TestScaling:
+    def test_find_stage_scales(self, prepared):
+        config, partitions, store, _, _ = prepared
+        no_seek = DiskSpec(seek_seconds=0.0)
+        finds = {}
+        for n in (1, 4):
+            result = reduce_fingerprint_partitioned(config, partitions, store, n,
+                                                    disk=no_seek)
+            finds[n] = max(result.per_node_find_seconds)
+        assert finds[4] < 0.5 * finds[1]
+
+    def test_critical_path_composition(self, prepared):
+        config, partitions, store, _, _ = prepared
+        result = reduce_fingerprint_partitioned(config, partitions, store, 2)
+        assert result.critical_seconds == pytest.approx(
+            max(result.per_node_find_seconds) + result.apply_seconds)
+
+
+class TestValidation:
+    def test_rejects_zero_nodes(self, prepared):
+        config, partitions, store, _, _ = prepared
+        with pytest.raises(ConfigError):
+            reduce_fingerprint_partitioned(config, partitions, store, 0)

@@ -1,0 +1,90 @@
+"""WorkerNode internals: map accumulation, partition serving, shuffle."""
+
+import numpy as np
+import pytest
+
+from repro import AssemblyConfig
+from repro.distributed import ActiveMessageLayer, NetworkSpec, WorkerNode
+from repro.distributed.node import FETCH_PARTITION
+from repro.seq.packing import PackedReadStore
+
+
+@pytest.fixture()
+def cluster_pair(tmp_path, tiny_md):
+    config = AssemblyConfig(min_overlap=25)
+    messages = ActiveMessageLayer(NetworkSpec())
+    nodes = [WorkerNode(i, config, tmp_path, messages) for i in range(2)]
+    store = PackedReadStore.open(tiny_md.store_path)
+    yield nodes, store, messages
+    store.close()
+
+
+class TestMapBlocks:
+    def test_blocks_accumulate(self, cluster_pair):
+        nodes, store, _ = cluster_pair
+        node = nodes[0]
+        half = store.n_reads // 2
+        node.map_block(store, 0, half)
+        node.map_block(store, half, store.n_reads)
+        node.finish_map()
+        assert node.mapped_reads == store.n_reads
+        length = 25
+        assert node.map_partitions.records_in("S", length) == 2 * store.n_reads
+
+    def test_private_workdirs(self, cluster_pair):
+        nodes, _, _ = cluster_pair
+        assert nodes[0].ctx.workdir != nodes[1].ctx.workdir
+
+
+class TestServing:
+    def test_fetch_partition_roundtrip(self, cluster_pair):
+        nodes, store, messages = cluster_pair
+        nodes[0].map_block(store, 0, 20)
+        nodes[0].finish_map()
+        records = messages.request(1, 0, FETCH_PARTITION, "S", 25)
+        assert records.shape[0] == 2 * 20
+        assert nodes[1].ctx.clock.seconds("network") > 0
+
+    def test_fetch_missing_partition_is_empty(self, cluster_pair):
+        nodes, _, messages = cluster_pair
+        nodes[0].finish_map()
+        records = messages.request(1, 0, FETCH_PARTITION, "S", 30)
+        assert records.shape[0] == 0
+
+
+class TestShuffle:
+    def test_pull_aggregates_all_peers(self, cluster_pair):
+        nodes, store, _ = cluster_pair
+        half = store.n_reads // 2
+        nodes[0].map_block(store, 0, half)
+        nodes[1].map_block(store, half, store.n_reads)
+        for node in nodes:
+            node.finish_map()
+        pulled = nodes[0].pull_owned_partitions(nodes, [25, 27])
+        assert pulled > 0
+        assert nodes[0].shuffled.records_in("S", 25) == 2 * store.n_reads
+        assert nodes[0].shuffled.records_in("P", 27) == 2 * store.n_reads
+        assert nodes[0].owned_lengths == [25, 27]
+
+    def test_vertex_ids_globally_consistent(self, cluster_pair):
+        """Blocks mapped on different nodes carry their global read-ids."""
+        nodes, store, _ = cluster_pair
+        half = store.n_reads // 2
+        nodes[0].map_block(store, 0, half)
+        nodes[1].map_block(store, half, store.n_reads)
+        for node in nodes:
+            node.finish_map()
+        nodes[0].pull_owned_partitions(nodes, [25])
+        with nodes[0].shuffled.open_run("S", 25) as reader:
+            vertices = reader.read_all()["val"]
+        read_ids = np.unique(vertices >> 1)
+        assert read_ids.min() == 0
+        assert read_ids.max() == store.n_reads - 1
+        assert read_ids.shape[0] == store.n_reads
+
+    def test_drop_map_partitions(self, cluster_pair):
+        nodes, store, _ = cluster_pair
+        nodes[0].map_block(store, 0, 10)
+        nodes[0].finish_map()
+        nodes[0].drop_map_partitions()
+        assert list(nodes[0].map_partitions.root.glob("*.run")) == []

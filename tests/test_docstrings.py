@@ -1,0 +1,59 @@
+"""Documentation gate: every public item in the library carries a docstring.
+
+"Documented public API" is a deliverable, so it is enforced mechanically:
+every module, public class, public function and public method reachable
+from the ``repro`` package must have a non-trivial docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+IGNORED_METHOD_NAMES = {
+    # dataclass/stdlib machinery and dunder noise
+    "__init__", "__repr__", "__eq__", "__hash__", "__post_init__",
+}
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def _is_local(obj, module) -> bool:
+    return getattr(obj, "__module__", None) == module.__name__
+
+
+def test_every_module_documented():
+    undocumented = [module.__name__ for module in _public_modules()
+                    if not (module.__doc__ or "").strip()]
+    assert undocumented == []
+
+
+def test_every_public_callable_documented():
+    missing: list[str] = []
+    for module in _public_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not _is_local(obj, module):
+                continue
+            if inspect.isfunction(obj) and not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+                for method_name, method in vars(obj).items():
+                    if method_name.startswith("_") \
+                            or method_name in IGNORED_METHOD_NAMES:
+                        continue
+                    func = method.__func__ if isinstance(
+                        method, (classmethod, staticmethod)) else method
+                    if inspect.isfunction(func) \
+                            and not (func.__doc__ or "").strip():
+                        missing.append(
+                            f"{module.__name__}.{name}.{method_name}")
+    assert missing == [], f"{len(missing)} undocumented: {missing[:20]}"

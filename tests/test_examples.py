@@ -1,0 +1,30 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Executed as subprocesses so they exercise the real public entry points
+(imports, `__main__` blocks) exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)], capture_output=True, text=True,
+        timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate their output"
+
+
+def test_examples_inventory():
+    """At least the documented set of examples ships."""
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "out_of_core_assembly", "distributed_assembly",
+            "repeat_collapse", "baseline_comparison",
+            "error_correction"} <= names

@@ -1,0 +1,72 @@
+"""Modular arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.fingerprint.modmath import (MODULUS_PRIMES, RADIX_PRIMES, mulmod,
+                                       place_values, submod)
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    for p in range(2, int(n**0.5) + 1):
+        if n % p == 0:
+            return False
+    return True
+
+
+class TestParameterCatalog:
+    def test_moduli_are_prime_and_31bit(self):
+        for p in MODULUS_PRIMES:
+            assert _is_prime(p)
+            assert 2**30 < p < 2**31
+
+    def test_radixes_are_small_primes_above_alphabet(self):
+        for r in RADIX_PRIMES:
+            assert _is_prime(r)
+            assert 4 < r < 64
+
+
+class TestPlaceValues:
+    def test_definition(self):
+        m = place_values(5, 13, 6)
+        assert m.tolist() == [1, 5, 12, 8, 1, 5]  # 5^i mod 13
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            place_values(3, 13, 4)  # radix <= alphabet
+        with pytest.raises(ConfigError):
+            place_values(5, 2**31 + 11, 4)  # prime too large
+        with pytest.raises(ConfigError):
+            place_values(5, 13, 0)
+
+    @given(st.integers(1, 150))
+    def test_matches_pow(self, length):
+        prime = MODULUS_PRIMES[0]
+        m = place_values(7, prime, length)
+        for i in (0, length // 2, length - 1):
+            assert int(m[i]) == pow(7, i, prime)
+
+
+class TestModOps:
+    @given(st.integers(0, 2**31 - 2), st.integers(0, 2**31 - 2))
+    def test_mulmod_no_overflow(self, a, b):
+        prime = MODULUS_PRIMES[1]
+        a %= prime
+        b %= prime
+        assert int(mulmod(np.uint64(a), np.uint64(b), prime)) == (a * b) % prime
+
+    @given(st.integers(0, 2**31 - 2), st.integers(0, 2**31 - 2))
+    def test_submod(self, a, b):
+        prime = MODULUS_PRIMES[2]
+        a %= prime
+        b %= prime
+        assert int(submod(np.uint64(a), np.uint64(b), prime)) == (a - b) % prime
+
+    def test_vectorized(self):
+        prime = 13
+        out = mulmod(np.array([3, 5], dtype=np.uint64), 7, prime)
+        assert out.tolist() == [21 % 13, 35 % 13]

@@ -1,0 +1,68 @@
+"""Packed bit-vector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.graph import PackedBitVector
+
+
+class TestBasics:
+    def test_set_get(self):
+        vector = PackedBitVector(200)
+        vector.set(np.array([0, 63, 64, 127, 199]))
+        assert vector.get(63) and vector.get(64) and not vector.get(65)
+        assert vector.get(np.array([0, 1, 199])).tolist() == [True, False, True]
+
+    def test_count(self):
+        vector = PackedBitVector(100)
+        vector.set(np.array([5, 5, 7]))  # duplicates allowed
+        assert vector.count() == 2
+
+    def test_bounds_checked(self):
+        vector = PackedBitVector(10)
+        with pytest.raises(ConfigError):
+            vector.set(np.array([10]))
+        with pytest.raises(ConfigError):
+            vector.get(np.array([-1]))
+
+    def test_zero_size(self):
+        vector = PackedBitVector(0)
+        assert vector.count() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PackedBitVector(-1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        vector = PackedBitVector(130)
+        vector.set(np.array([0, 129]))
+        clone = PackedBitVector.from_bytes(vector.to_bytes(), 130)
+        assert clone.count() == 2 and clone.get(129)
+
+    def test_nbytes_is_word_packed(self):
+        assert PackedBitVector(64).nbytes == 8
+        assert PackedBitVector(65).nbytes == 16
+
+    def test_copy_is_independent(self):
+        vector = PackedBitVector(64)
+        clone = vector.copy()
+        vector.set(np.array([3]))
+        assert not clone.get(3)
+
+
+@given(st.lists(st.integers(0, 499), max_size=200), st.lists(st.integers(0, 499),
+                                                             max_size=50))
+@settings(max_examples=60)
+def test_matches_python_set(set_indices, probe_indices):
+    vector = PackedBitVector(500)
+    if set_indices:
+        vector.set(np.array(set_indices))
+    reference = set(set_indices)
+    assert vector.count() == len(reference)
+    if probe_indices:
+        got = vector.get(np.array(probe_indices))
+        assert got.tolist() == [i in reference for i in probe_indices]

@@ -1,0 +1,91 @@
+"""Full overlap graph and transitive reduction (the D3 ablation substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.simplify import FullOverlapGraph
+
+
+class TestEdges:
+    def test_keeps_longest_per_pair(self):
+        graph = FullOverlapGraph(3, 10)
+        graph.add_edge(0, 2, 5)
+        graph.add_edge(0, 2, 7)
+        graph.add_edge(0, 2, 6)
+        assert graph.out_edges(0) == [(2, 7)]
+        assert graph.n_edges == 1
+
+    def test_bulk_skips_same_read(self):
+        graph = FullOverlapGraph(2, 10)
+        graph.add_edges(np.array([0, 0]), np.array([1, 2]), np.array([5, 5]))
+        assert graph.n_edges == 1
+
+    def test_overlap_validation(self):
+        graph = FullOverlapGraph(2, 10)
+        with pytest.raises(ConfigError):
+            graph.add_edge(0, 2, 10)
+
+
+class TestTransitiveReduction:
+    def test_textbook_triangle(self):
+        """u→v (8), v→w (8), u→w (6): with L=10, 8+8-10=6 so u→w is redundant."""
+        graph = FullOverlapGraph(3, 10)
+        graph.add_edge(0, 2, 8)
+        graph.add_edge(2, 4, 8)
+        graph.add_edge(0, 4, 6)
+        removed = graph.transitive_reduction()
+        assert removed == 1
+        assert graph.out_edges(0) == [(2, 8)]
+        assert graph.out_edges(2) == [(4, 8)]
+
+    def test_non_transitive_kept(self):
+        """Same triangle but the spelled lengths don't line up: keep all."""
+        graph = FullOverlapGraph(3, 10)
+        graph.add_edge(0, 2, 8)
+        graph.add_edge(2, 4, 8)
+        graph.add_edge(0, 4, 5)  # 8+8-10=6 != 5
+        assert graph.transitive_reduction() == 0
+        assert graph.n_edges == 3
+
+    def test_chain_of_four(self):
+        graph = FullOverlapGraph(4, 10)
+        for i in range(3):
+            graph.add_edge(2 * i, 2 * i + 2, 8)
+        graph.add_edge(0, 4, 6)
+        graph.add_edge(2, 6, 6)
+        graph.add_edge(0, 6, 4)
+        removed = graph.transitive_reduction()
+        assert removed >= 2
+        # the backbone survives
+        for i in range(3):
+            assert (2 * i + 2, 8) in graph.out_edges(2 * i)
+
+
+class TestUnitigs:
+    def test_simple_chain(self):
+        graph = FullOverlapGraph(3, 10)
+        graph.add_edge(0, 2, 6)
+        graph.add_edge(2, 4, 6)
+        paths = graph.unitig_paths()
+        chain = [p for p in paths if len(p) == 3]
+        assert chain, paths
+        vertices = [v for v, _ in chain[0]]
+        assert vertices == [0, 2, 4]
+        overhangs = [o for _, o in chain[0]]
+        assert overhangs == [4, 4, 10]
+
+    def test_branch_breaks_unitig(self):
+        graph = FullOverlapGraph(4, 10)
+        graph.add_edge(0, 2, 6)
+        graph.add_edge(0, 4, 6)  # branch at 0
+        graph.add_edge(2, 6, 6)
+        paths = graph.unitig_paths()
+        # vertex 0 cannot extend through the branch
+        zero_paths = [p for p in paths if p[0][0] == 0]
+        assert zero_paths and len(zero_paths[0]) == 1
+
+    def test_memory_estimate_positive(self):
+        graph = FullOverlapGraph(2, 10)
+        graph.add_edge(0, 2, 5)
+        assert graph.nbytes_estimate() > 0

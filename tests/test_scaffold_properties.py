@@ -1,0 +1,68 @@
+"""Scaffolding property tests: random libraries, structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Assembler, AssemblyConfig
+from repro.scaffold import scaffold_assembly
+from repro.scaffold.links import bundle_links
+from repro.seq.packing import PackedReadStore
+from repro.seq.simulate import PairedReadSimulator, simulate_genome
+
+library_params = st.tuples(
+    st.integers(4000, 12_000),   # genome length
+    st.integers(250, 500),       # insert size
+    st.integers(0, 2**31 - 1),   # seed
+)
+
+
+class TestScaffoldProperties:
+    @given(library_params)
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_scaffolding_never_loses_contig_bases(self, tmp_path_factory,
+                                                  params):
+        genome_length, insert, seed = params
+        root = tmp_path_factory.mktemp("scprop")
+        genome = simulate_genome(genome_length, seed=seed)
+        sim = PairedReadSimulator(genome=genome, read_length=60,
+                                  coverage=22.0, insert_size=insert,
+                                  insert_std=8.0, seed=seed + 1)
+        batch, n_pairs = sim.all_reads()
+        path = root / "pe.lsgr"
+        with PackedReadStore.create(path, 60) as store:
+            store.append_batch(batch)
+        result = Assembler(AssemblyConfig(min_overlap=30)).assemble(path)
+        scaffolds = scaffold_assembly(result.contigs, result.paths,
+                                      n_pairs=n_pairs, read_length=60,
+                                      insert_size=insert, min_support=3)
+        contig_bases = int(result.contig_lengths().sum())
+        scaffold_non_gap = sum(len(s) - s.count("N")
+                               for s in scaffolds.sequences)
+        # Every contig appears exactly once across the scaffolds.
+        assert scaffold_non_gap == contig_bases
+        # Scaffolding can only reduce the sequence count.
+        assert len(scaffolds.sequences) <= result.contigs.n_contigs
+        # Contiguity never degrades.
+        assert scaffolds.stats()["n50"] >= result.stats()["n50"]
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 5), st.booleans(), st.integers(0, 5),
+                  st.booleans(), st.integers(-50, 500)),
+        max_size=60))
+    @settings(max_examples=50)
+    def test_bundling_invariants(self, raw_links):
+        raw_links = [l for l in raw_links if l[0] != l[2]]
+        bundled = bundle_links(raw_links, min_support=2)
+        # Sorted by support, all above threshold, no self links.
+        supports = [b.support for b in bundled]
+        assert supports == sorted(supports, reverse=True)
+        assert all(s >= 2 for s in supports)
+        assert all(b.contig_a != b.contig_b for b in bundled)
+        # Canonicalization: at most one bundle per unordered oriented pair.
+        keys = set()
+        for b in bundled:
+            key = frozenset([(b.contig_a, b.flip_a), (b.contig_b, not b.flip_b)])
+            assert key not in keys
+            keys.add(key)

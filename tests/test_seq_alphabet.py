@@ -1,0 +1,78 @@
+"""Alphabet: encoding, decoding, complementation properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DatasetError
+from repro.seq.alphabet import (complement_codes, decode, encode,
+                                reverse_complement, reverse_complement_str)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_known_values(self):
+        assert list(encode("ACGT")) == [0, 1, 2, 3]
+        assert decode(np.array([3, 2, 1, 0], dtype=np.uint8)) == "TGCA"
+
+    def test_lowercase_accepted(self):
+        assert np.array_equal(encode("acgt"), encode("ACGT"))
+
+    def test_bytes_input(self):
+        assert np.array_equal(encode(b"ACGT"), encode("ACGT"))
+
+    def test_invalid_strict_raises(self):
+        with pytest.raises(DatasetError, match="invalid DNA"):
+            encode("ACGN")
+
+    def test_invalid_mask_maps_to_a(self):
+        assert list(encode("ANT", on_invalid="mask")) == [0, 0, 3]
+
+    def test_decode_rejects_matrix(self):
+        with pytest.raises(DatasetError):
+            decode(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(DatasetError):
+            decode(np.array([5], dtype=np.uint8))
+
+    @given(dna)
+    def test_roundtrip(self, text):
+        assert decode(encode(text)) == text
+
+
+class TestComplement:
+    def test_complement_codes(self):
+        assert list(complement_codes(np.array([0, 1, 2, 3], dtype=np.uint8))) \
+            == [3, 2, 1, 0]
+
+    def test_reverse_complement_string(self):
+        assert reverse_complement_str("GATACCAGTA") == "TACTGGTATC"
+        assert reverse_complement_str("") == ""
+
+    def test_reverse_complement_batch_rows_independent(self):
+        batch = np.array([[0, 1, 2], [3, 3, 3]], dtype=np.uint8)
+        out = reverse_complement(batch)
+        assert out.tolist() == [[1, 2, 3], [0, 0, 0]]
+
+    @given(dna.filter(bool))
+    def test_involution(self, text):
+        codes = encode(text)
+        assert np.array_equal(reverse_complement(reverse_complement(codes)), codes)
+
+    @given(dna)
+    def test_rc_preserves_length_and_alphabet(self, text):
+        rc = reverse_complement(encode(text))
+        assert rc.shape[0] == len(text)
+        assert rc.dtype == np.uint8
+        if rc.size:
+            assert rc.max() <= 3
+
+    @given(st.text(alphabet="ACGT", min_size=2, max_size=50))
+    def test_rc_reverses_concatenation(self, text):
+        """rc(xy) == rc(y) + rc(x) — the property WC-pair edges rely on."""
+        half = len(text) // 2
+        left, right = text[:half], text[half:]
+        assert reverse_complement_str(left + right) == \
+            reverse_complement_str(right) + reverse_complement_str(left)

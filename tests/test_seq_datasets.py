@@ -1,0 +1,89 @@
+"""Dataset registry and materialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.seq.datasets import (DEFAULT_SCALE, active_scale, dataset_registry,
+                                get_dataset, materialize_dataset, tiny_dataset)
+from repro.model.paper_values import TABLE1
+
+
+class TestRegistry:
+    def test_four_table1_analogs(self):
+        registry = dataset_registry()
+        assert set(registry) == {"hchr14_sim", "bumblebee_sim", "parakeet_sim",
+                                 "hgenome_sim"}
+
+    def test_paper_numbers_match_table1(self):
+        for spec in dataset_registry().values():
+            row = TABLE1[spec.paper_name]
+            assert spec.read_length == row["length"]
+            assert spec.paper.reads == row["reads"]
+            assert spec.paper.bases == row["bases"]
+            assert spec.min_overlap == row["min_overlap"]
+
+    def test_coverage_realistic(self):
+        for spec in dataset_registry().values():
+            assert 30 < spec.coverage < 150
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("ecoli")
+
+    def test_scaled_reads_scale_linearly(self):
+        spec = get_dataset("hgenome_sim")
+        small = spec.scaled_reads(1e-5)
+        large = spec.scaled_reads(4e-5)
+        assert 3.5 < large / small < 4.5
+
+
+class TestActiveScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert active_scale() == DEFAULT_SCALE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1e-4")
+        assert active_scale() == 1e-4
+
+    @pytest.mark.parametrize("bad", ["zero", "-1"])
+    def test_env_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(DatasetError):
+            active_scale()
+
+
+class TestMaterialize:
+    def test_produces_artifacts(self, tmp_path):
+        md = materialize_dataset("hchr14_sim", tmp_path, scale=2e-6)
+        assert md.store_path.exists() and md.genome_path.exists()
+        with md.open_store() as store:
+            assert store.n_reads == md.n_reads
+            assert store.read_length == 101
+        genome = md.genome()
+        assert genome.dtype == np.uint8
+
+    def test_cached_reuse(self, tmp_path):
+        first = materialize_dataset("hchr14_sim", tmp_path, scale=2e-6)
+        mtime = first.store_path.stat().st_mtime_ns
+        second = materialize_dataset("hchr14_sim", tmp_path, scale=2e-6)
+        assert second.store_path == first.store_path
+        assert second.store_path.stat().st_mtime_ns == mtime
+        assert second.n_reads == first.n_reads
+
+    def test_different_scale_different_dir(self, tmp_path):
+        a = materialize_dataset("hchr14_sim", tmp_path, scale=2e-5)
+        b = materialize_dataset("hchr14_sim", tmp_path, scale=4e-5)
+        assert a.root != b.root
+        assert b.n_reads > a.n_reads
+
+
+class TestTinyDataset:
+    def test_roundtrip_with_batch(self, tmp_path):
+        md, batch = tiny_dataset(tmp_path, genome_length=600, read_length=30,
+                                 coverage=5.0)
+        assert md.n_reads == batch.n_reads
+        with md.open_store() as store:
+            assert np.array_equal(store.read_slice(0, batch.n_reads).codes,
+                                  batch.codes)

@@ -1,0 +1,78 @@
+"""FASTA/FASTQ streaming I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.seq.fastq import (fastq_read_batches, read_fasta, read_fastq,
+                             write_fasta, write_fastq)
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        records = [("r1", "ACGT", "IIII"), ("r2", "TTAA", "JJJJ")]
+        path = tmp_path / "x.fastq"
+        assert write_fastq(path, records) == 2
+        assert list(read_fastq(path)) == records
+
+    def test_stream_handles(self):
+        buffer = io.StringIO()
+        write_fastq(buffer, [("a", "AC", "II")])
+        buffer.seek(0)
+        assert list(read_fastq(buffer)) == [("a", "AC", "II")]
+
+    def test_blank_lines_skipped(self):
+        text = "@r1\nACGT\n+\nIIII\n\n@r2\nTT\n+\nII\n"
+        assert len(list(read_fastq(io.StringIO(text)))) == 2
+
+    @pytest.mark.parametrize("text,message", [
+        ("ACGT\nACGT\n+\nIIII\n", "expected '@'"),
+        ("@r1\nACGT\nIIII\nIIII\n", "missing '\\+'"),
+        ("@r1\nACGT\n+\nII\n", "quality length"),
+    ])
+    def test_malformed(self, text, message):
+        with pytest.raises(DatasetError, match=message):
+            list(read_fastq(io.StringIO(text)))
+
+
+class TestFasta:
+    def test_roundtrip_with_wrapping(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        seq = "ACGT" * 50
+        write_fasta(path, [("contig.0", seq)], line_width=13)
+        assert list(read_fasta(path)) == [("contig.0", seq)]
+
+    def test_multiple_records(self):
+        buffer = io.StringIO(">a\nAC\nGT\n>b\nTT\n")
+        assert list(read_fasta(buffer)) == [("a", "ACGT"), ("b", "TT")]
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(DatasetError):
+            list(read_fasta(io.StringIO("ACGT\n>a\nAC\n")))
+
+    def test_empty_file(self):
+        assert list(read_fasta(io.StringIO(""))) == []
+
+
+class TestBatches:
+    def _write(self, tmp_path, seqs):
+        path = tmp_path / "r.fastq"
+        write_fastq(path, [(f"r{i}", s, "I" * len(s)) for i, s in enumerate(seqs)])
+        return path
+
+    def test_batching_and_ids(self, tmp_path):
+        path = self._write(tmp_path, ["ACGT"] * 7)
+        batches = list(fastq_read_batches(path, batch_reads=3))
+        assert [b.n_reads for b in batches] == [3, 3, 1]
+        assert [b.start_id for b in batches] == [0, 3, 6]
+
+    def test_variable_length_rejected(self, tmp_path):
+        path = self._write(tmp_path, ["ACGT", "ACGTA"])
+        with pytest.raises(DatasetError, match="variable read length"):
+            list(fastq_read_batches(path, batch_reads=10))
+
+    def test_bad_batch_size(self, tmp_path):
+        path = self._write(tmp_path, ["ACGT"])
+        with pytest.raises(DatasetError):
+            list(fastq_read_batches(path, batch_reads=0))

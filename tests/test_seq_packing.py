@@ -1,0 +1,119 @@
+"""Packed read store: 2-bit codec and on-disk format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError, StreamProtocolError
+from repro.seq.packing import PackedReadStore, pack_codes, unpack_codes
+from repro.seq.records import ReadBatch
+
+
+class TestCodec:
+    def test_pack_width(self):
+        packed = pack_codes(np.zeros((3, 10), dtype=np.uint8))
+        assert packed.shape == (3, 3)  # ceil(10/4)
+
+    def test_roundtrip_known(self):
+        codes = np.array([[0, 1, 2, 3, 0, 1]], dtype=np.uint8)
+        assert np.array_equal(unpack_codes(pack_codes(codes), 6), codes)
+
+    @given(st.integers(1, 40), st.integers(1, 30), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, length, n, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 4, (n, length), dtype=np.uint8)
+        assert np.array_equal(unpack_codes(pack_codes(codes), length), codes)
+
+    def test_packing_is_dense(self):
+        """4 bases per byte — the 13x FASTQ shrink the paper relies on."""
+        codes = np.zeros((1, 100), dtype=np.uint8)
+        assert pack_codes(codes).nbytes == 25
+
+
+class TestStore:
+    def test_write_read_roundtrip(self, tmp_path, rng):
+        codes = rng.integers(0, 4, (100, 33), dtype=np.uint8)
+        path = tmp_path / "reads.lsgr"
+        with PackedReadStore.create(path, 33) as store:
+            store.append_batch(ReadBatch(codes[:60]))
+            store.append_batch(ReadBatch(codes[60:]))
+        with PackedReadStore.open(path) as store:
+            assert store.n_reads == 100
+            assert store.read_length == 33
+            out = store.read_slice(0, 100)
+            assert np.array_equal(out.codes, codes)
+
+    def test_read_slice_ids(self, tmp_path, rng):
+        codes = rng.integers(0, 4, (10, 8), dtype=np.uint8)
+        path = tmp_path / "r.lsgr"
+        with PackedReadStore.create(path, 8) as store:
+            store.append_batch(ReadBatch(codes))
+        with PackedReadStore.open(path) as store:
+            chunk = store.read_slice(4, 7)
+            assert chunk.start_id == 4
+            assert np.array_equal(chunk.codes, codes[4:7])
+
+    def test_iter_batches(self, tmp_path, rng):
+        codes = rng.integers(0, 4, (25, 5), dtype=np.uint8)
+        path = tmp_path / "r.lsgr"
+        with PackedReadStore.create(path, 5) as store:
+            store.append_batch(ReadBatch(codes))
+        with PackedReadStore.open(path) as store:
+            sizes = [b.n_reads for b in store.iter_batches(10)]
+            assert sizes == [10, 10, 5]
+
+    def test_mode_enforcement(self, tmp_path):
+        path = tmp_path / "r.lsgr"
+        writer = PackedReadStore.create(path, 4)
+        with pytest.raises(StreamProtocolError):
+            writer.read_slice(0, 0)
+        writer.close()
+        reader = PackedReadStore.open(path)
+        with pytest.raises(StreamProtocolError):
+            reader.append_batch(ReadBatch.from_strings(["ACGT"]))
+        reader.close()
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with PackedReadStore.create(tmp_path / "r.lsgr", 4) as store:
+            with pytest.raises(DatasetError):
+                store.append_batch(ReadBatch.from_strings(["ACGTA"]))
+
+    def test_slice_bounds_checked(self, tmp_path):
+        path = tmp_path / "r.lsgr"
+        with PackedReadStore.create(path, 4) as store:
+            store.append_batch(ReadBatch.from_strings(["ACGT"]))
+        with PackedReadStore.open(path) as store:
+            with pytest.raises(DatasetError):
+                store.read_slice(0, 2)
+
+    def test_open_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a store, definitely")
+        with pytest.raises(DatasetError, match="not a packed read store"):
+            PackedReadStore.open(path)
+
+    def test_open_rejects_truncated(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_bytes(b"xy")
+        with pytest.raises(DatasetError, match="truncated"):
+            PackedReadStore.open(path)
+
+    def test_meter_counts_bytes(self, tmp_path, rng):
+        class Meter:
+            reads = writes = 0
+
+            def add_read(self, n):
+                Meter.reads += n
+
+            def add_write(self, n):
+                Meter.writes += n
+
+        codes = rng.integers(0, 4, (8, 8), dtype=np.uint8)
+        path = tmp_path / "r.lsgr"
+        with PackedReadStore.create(path, 8, Meter()) as store:
+            store.append_batch(ReadBatch(codes))
+        assert Meter.writes == 8 * 2  # 8 reads x 2 packed bytes
+        with PackedReadStore.open(path, Meter()) as store:
+            store.read_slice(0, 8)
+        assert Meter.reads == 16

@@ -1,0 +1,53 @@
+"""ReadBatch: construction, ids, reverse complements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.seq.records import ReadBatch
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        batch = ReadBatch.from_strings(["ACGT", "TTTT"], start_id=7)
+        assert batch.n_reads == 2
+        assert batch.read_length == 4
+        assert batch.strings() == ["ACGT", "TTTT"]
+        assert list(batch.read_ids) == [7, 8]
+
+    def test_from_strings_empty(self):
+        batch = ReadBatch.from_strings([])
+        assert batch.n_reads == 0 and len(batch) == 0
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(DatasetError, match="same length"):
+            ReadBatch.from_strings(["ACG", "ACGT"])
+
+    def test_requires_matrix(self):
+        with pytest.raises(DatasetError):
+            ReadBatch(np.zeros(4, dtype=np.uint8))
+
+    def test_negative_start_id_rejected(self):
+        with pytest.raises(DatasetError):
+            ReadBatch(np.zeros((1, 4), dtype=np.uint8), start_id=-1)
+
+    def test_mask_policy_passthrough(self):
+        batch = ReadBatch.from_strings(["ANGT"], on_invalid="mask")
+        assert batch.strings() == ["AAGT"]
+
+
+class TestBehaviour:
+    def test_reverse_complements(self):
+        batch = ReadBatch.from_strings(["ACGT", "AAAA"], start_id=3)
+        rc = batch.reverse_complements()
+        assert rc.strings() == ["ACGT", "TTTT"]
+        assert rc.start_id == 3  # ids unchanged
+
+    def test_iteration_yields_rows(self):
+        batch = ReadBatch.from_strings(["AC", "GT"])
+        rows = list(batch)
+        assert len(rows) == 2 and rows[1].tolist() == [2, 3]
+
+    def test_read_ids_dtype(self):
+        batch = ReadBatch.from_strings(["A" * 5] * 3, start_id=2**31)
+        assert batch.read_ids.dtype == np.uint32

@@ -1,0 +1,98 @@
+"""Genome and shotgun-read simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.seq.alphabet import decode, reverse_complement
+from repro.seq.simulate import ReadSimulator, simulate_genome
+
+
+class TestGenome:
+    def test_deterministic(self):
+        assert np.array_equal(simulate_genome(500, seed=1), simulate_genome(500, seed=1))
+        assert not np.array_equal(simulate_genome(500, seed=1),
+                                  simulate_genome(500, seed=2))
+
+    def test_alphabet_range(self):
+        genome = simulate_genome(1000, seed=3)
+        assert genome.dtype == np.uint8 and genome.max() <= 3
+
+    def test_repeats_implanted(self):
+        genome = simulate_genome(20_000, seed=4, repeat_fraction=0.3,
+                                 repeat_length=300)
+        template = genome[:300].tobytes()
+        text = genome.tobytes()
+        occurrences = 0
+        start = text.find(template)
+        while start != -1:
+            occurrences += 1
+            start = text.find(template, start + 1)
+        assert occurrences >= 2  # the original plus implanted copies
+
+    @pytest.mark.parametrize("kwargs", [
+        {"length": 0},
+        {"length": 100, "repeat_fraction": 1.0},
+    ])
+    def test_validation(self, kwargs):
+        length = kwargs.pop("length")
+        with pytest.raises(DatasetError):
+            simulate_genome(length, **kwargs)
+
+
+class TestReadSimulator:
+    def _sim(self, **kwargs):
+        genome = simulate_genome(2000, seed=8)
+        defaults = dict(genome=genome, read_length=50, coverage=10.0, seed=9)
+        defaults.update(kwargs)
+        return ReadSimulator(**defaults)
+
+    def test_read_count_matches_coverage(self):
+        sim = self._sim(coverage=10.0)
+        assert sim.n_reads == round(10.0 * 2000 / 50)
+
+    def test_deterministic_across_batchings(self):
+        sim = self._sim()
+        whole = sim.all_reads()
+        chunks = list(sim.batches(batch_reads=37))
+        rebuilt = np.concatenate([b.codes for b in chunks])
+        assert np.array_equal(whole.codes, rebuilt)
+        assert [b.start_id for b in chunks][:3] == [0, 37, 74]
+
+    def test_error_free_reads_are_genome_substrings(self):
+        sim = self._sim(rc_fraction=0.0, error_rate=0.0)
+        genome_text = decode(sim.genome)
+        for row in sim.all_reads().codes[:50]:
+            assert decode(row) in genome_text
+
+    def test_rc_reads_come_from_reverse_strand(self):
+        sim = self._sim(rc_fraction=1.0)
+        rc_text = decode(reverse_complement(sim.genome))
+        for row in sim.all_reads().codes[:50]:
+            assert decode(row) in rc_text
+
+    def test_error_rate_mutates(self):
+        clean = self._sim(error_rate=0.0).all_reads().codes
+        noisy = self._sim(error_rate=0.05).all_reads().codes
+        mismatches = (clean != noisy).mean()
+        assert 0.02 < mismatches < 0.09  # ~5% plus strand-flip noise tolerance
+
+    def test_to_fastq(self, tmp_path):
+        sim = self._sim(coverage=2.0)
+        path = tmp_path / "sim.fastq"
+        count = sim.to_fastq(path)
+        assert count == sim.n_reads
+        from repro.seq.fastq import read_fastq
+        names = [name for name, _, _ in read_fastq(path)]
+        assert names[0] == "sim.0" and len(names) == count
+
+    @pytest.mark.parametrize("kwargs", [
+        {"read_length": 1},
+        {"read_length": 5000},
+        {"coverage": 0.0},
+        {"error_rate": 1.0},
+        {"rc_fraction": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(DatasetError):
+            self._sim(**kwargs)

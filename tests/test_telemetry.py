@@ -1,0 +1,105 @@
+"""Telemetry: phase capture, counter deltas, peak gauges, merging."""
+
+import pytest
+
+from repro.telemetry import PhaseStats, Telemetry
+
+
+class FakeMeter:
+    def __init__(self):
+        self.total = 0.0
+        self.gauge = 0.0
+        self._peak = 0.0
+
+    def bump(self, amount: float) -> None:
+        self.total += amount
+        self.gauge += amount
+        self._peak = max(self._peak, self.gauge)
+
+    def drop(self, amount: float) -> None:
+        self.gauge -= amount
+
+    def counters(self):
+        return {"bytes": self.total}
+
+    def peaks(self):
+        return {"gauge": self._peak}
+
+    def reset_peaks(self):
+        self._peak = self.gauge
+
+
+class TestTelemetry:
+    def test_phase_counter_deltas(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        meter.bump(100)
+        with telemetry.phase("map"):
+            meter.bump(50)
+        with telemetry.phase("sort"):
+            meter.bump(25)
+        assert telemetry["map"].counters["bytes"] == 50
+        assert telemetry["sort"].counters["bytes"] == 25
+
+    def test_phase_peaks_reset_per_phase(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        meter.bump(1000)
+        meter.drop(1000)
+        with telemetry.phase("map"):
+            meter.bump(10)
+        assert telemetry["map"].peaks["gauge"] == 10
+
+    def test_same_phase_merges(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        for bump in (10, 20):
+            with telemetry.phase("sort"):
+                meter.bump(bump)
+                meter.drop(bump)
+        assert telemetry["sort"].counters["bytes"] == 30
+        assert telemetry["sort"].peaks["gauge"] == 20  # max, not sum
+        assert [s.name for s in telemetry] == ["sort"]
+
+    def test_wall_time_positive_and_total(self):
+        telemetry = Telemetry()
+        with telemetry.phase("a"):
+            pass
+        with telemetry.phase("b"):
+            pass
+        assert telemetry.total_wall_seconds() >= 0
+        assert "a" in telemetry and "c" not in telemetry
+        assert len(telemetry.phases) == 2
+
+    def test_report_contains_phases(self):
+        telemetry = Telemetry()
+        with telemetry.phase("reduce"):
+            pass
+        report = telemetry.report()
+        assert "reduce" in report and "total" in report
+
+
+class TestPhaseStats:
+    def test_merge_adds_and_maxes(self):
+        a = PhaseStats("x", 1.0, {"n": 1.0}, {"p": 5.0})
+        b = PhaseStats("x", 2.0, {"n": 2.0, "m": 1.0}, {"p": 3.0, "q": 7.0})
+        merged = a.merged_with(b)
+        assert merged.wall_seconds == 3.0
+        assert merged.counters == {"n": 3.0, "m": 1.0}
+        assert merged.peaks == {"p": 5.0, "q": 7.0}
+
+    def test_sim_seconds_reads_counter(self):
+        stats = PhaseStats("x", 0.0, {"sim_seconds": 4.5})
+        assert stats.sim_seconds == 4.5
+        assert PhaseStats("y").sim_seconds == 0.0
+
+    def test_summary_mentions_name(self):
+        assert "sort" in PhaseStats("sort", 1.0).summary()
+
+
+def test_unknown_phase_lookup_raises():
+    with pytest.raises(KeyError):
+        Telemetry()["nope"]
