@@ -32,18 +32,18 @@ def _partition_records(n: int) -> np.ndarray:
                         aux=rng.integers(0, 2**62, n, dtype=np.uint64))
 
 
-def _sort_once(tmp_path, records: np.ndarray, m_h: int, m_d: int):
+def _sort_once(tmp_path, records: np.ndarray, m_h: int, m_d: int, fanout=2):
     clock = SimClock()
     accountant = IOAccountant(clock=clock)
     gpu = VirtualGPU("K40", capacity_bytes=max(1 << 20, m_d * 60), clock=clock)
     host_pool = MemoryPool("host", max(1 << 22, m_h * 60), HostMemoryError)
     sorter = ExternalSorter(gpu=gpu, host_pool=host_pool, accountant=accountant,
                             dtype=records.dtype, host_block_pairs=m_h,
-                            device_block_pairs=m_d)
-    in_path = tmp_path / f"part_{m_h}_{m_d}.run"
+                            device_block_pairs=m_d, merge_fanout=fanout)
+    in_path = tmp_path / f"part_{m_h}_{m_d}_{fanout}.run"
     with RunWriter(in_path, records.dtype) as writer:
         writer.append(records)
-    report = sorter.sort_file(in_path, tmp_path / f"out_{m_h}_{m_d}.run")
+    report = sorter.sort_file(in_path, tmp_path / f"out_{m_h}_{m_d}_{fanout}.run")
     return report, clock.total_seconds
 
 
@@ -55,6 +55,7 @@ def test_fig8_block_size_sweep(benchmark, tmp_path):
 
     host_grid = [n // 4, n // 2, n, 2 * n, 4 * n]
     device_grid = [n // 64, n // 32, n // 16, n // 8]
+    fanout_grid = [2, 4, 8]
     fixed_device = n // 16
 
     def sweep():
@@ -65,6 +66,9 @@ def test_fig8_block_size_sweep(benchmark, tmp_path):
         for m_d in device_grid:
             measurements[("device", m_d)] = _sort_once(tmp_path, records,
                                                        n // 2, m_d)
+        for fanout in fanout_grid:
+            measurements[("fanout", fanout)] = _sort_once(
+                tmp_path, records, n // 8, fixed_device, fanout)
         return measurements
 
     measurements = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -92,6 +96,17 @@ def test_fig8_block_size_sweep(benchmark, tmp_path):
     host_table.add_note(f"measured partition: {n:,} records; paper partition: "
                         f"{PARTITION_RECORDS:,} records")
 
+    fanout_table = ComparisonTable(
+        "Fig. 8 extension - merge fanout at m_h = n/8 (16 initial runs)",
+        ["fanout k", "passes", "sim time", "model @ paper scale"],
+    )
+    for fanout in fanout_grid:
+        report, sim = measurements[("fanout", fanout)]
+        model = model_partition_sort_seconds(160_000_000, 20_000_000,
+                                             merge_fanout=fanout)
+        fanout_table.add_row(fanout, report.disk_passes, format_duration(sim),
+                             format_duration(model))
+
     from repro.analysis import AsciiChart
     chart = AsciiChart("Fig. 8 (model) - partition sort seconds (K40)",
                        [f"{b // 10**6}M" for b in FIG8_HOST_BLOCKS], y_log=True)
@@ -99,7 +114,7 @@ def test_fig8_block_size_sweep(benchmark, tmp_path):
         chart.add_series(f"m_d={paper_m_d // 10**6}M",
                          [model_partition_sort_seconds(b, paper_m_d)
                           for b in FIG8_HOST_BLOCKS])
-    emit("fig8", host_table, device_table, chart)
+    emit("fig8", host_table, fanout_table, device_table, chart)
 
     # Shapes: monotone drop along the host axis, flat past single-pass
     # (blocks of 2n and 4n records both sort the partition in one pass).
@@ -112,3 +127,9 @@ def test_fig8_block_size_sweep(benchmark, tmp_path):
     host_effect = host_sims[0] / host_sims[-1]
     device_effect = max(device_sims) / min(device_sims)
     assert host_effect > 1.5 * device_effect
+    # Fanout axis: k-way merging removes whole disk passes at fixed m_h.
+    fanout_passes = [measurements[("fanout", k)][0].disk_passes
+                     for k in fanout_grid]
+    assert fanout_passes == sorted(fanout_passes, reverse=True)
+    assert fanout_passes[-1] < fanout_passes[0]
+    assert measurements[("fanout", 8)][1] < measurements[("fanout", 2)][1]

@@ -117,6 +117,13 @@ class AssemblyConfig:
     host_block_pairs / device_block_pairs:
         Explicit ``m_h``/``m_d`` overrides (paper Fig. 8/9 sweeps); ``0``
         derives them from ``memory``.
+    merge_fanout:
+        Runs merged per external-merge round (level 1 and level 2). ``2``
+        is the paper's pairwise Algorithm 1 and makes the sort take
+        ``1 + ⌈log₂ R⌉`` disk passes over ``R`` initial runs; ``k`` cuts
+        that to ``1 + ⌈log_k R⌉`` at the cost of ``k``-times-smaller merge
+        windows. ``0`` derives the largest fanout whose windows still hold
+        a device chunk (:func:`repro.extmem.sort.derive_fanout`).
     dedupe_contigs:
         Drop the reverse-complement twin of each contig (extension; the
         paper leaves complement duplicates unspecified).
@@ -133,6 +140,7 @@ class AssemblyConfig:
     map_batch_reads: int = 0
     host_block_pairs: int = 0
     device_block_pairs: int = 0
+    merge_fanout: int = 2
     dedupe_contigs: bool = True
     keep_workdir: bool = False
     seed: int = 0x1A5A67A
@@ -144,6 +152,8 @@ class AssemblyConfig:
             raise ConfigError("fingerprint_lanes must be 1 or 2")
         if self.map_batch_reads < 0 or self.host_block_pairs < 0 or self.device_block_pairs < 0:
             raise ConfigError("block/batch overrides must be >= 0 (0 = auto)")
+        if self.merge_fanout < 0 or self.merge_fanout == 1:
+            raise ConfigError("merge_fanout must be 0 (auto) or >= 2")
 
     def with_memory(self, memory: MemoryConfig) -> "AssemblyConfig":
         """Return a copy using a different memory configuration."""
@@ -155,3 +165,12 @@ class AssemblyConfig:
         m_d = self.device_block_pairs or self.memory.device_pairs(record_nbytes)
         m_d = min(m_d, m_h)
         return max(2, m_h), max(2, m_d)
+
+    def resolved_fanout(self, record_nbytes: int) -> int:
+        """Resolve the merge fanout ``k`` for a record width (0 = derive)."""
+        if self.merge_fanout:
+            return self.merge_fanout
+        from .extmem.sort import derive_fanout
+
+        m_h, m_d = self.resolved_blocks(record_nbytes)
+        return derive_fanout(m_h, m_d)

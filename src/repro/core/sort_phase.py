@@ -38,7 +38,8 @@ def make_sorter(ctx: RunContext, dtype) -> ExternalSorter:
     m_h, m_d = ctx.config.resolved_blocks(dtype.itemsize)
     return ExternalSorter(gpu=ctx.gpu, host_pool=ctx.host_pool,
                           accountant=ctx.accountant, dtype=dtype,
-                          host_block_pairs=m_h, device_block_pairs=m_d)
+                          host_block_pairs=m_h, device_block_pairs=m_d,
+                          merge_fanout=ctx.config.merge_fanout)
 
 
 def run_sort(ctx: RunContext, partitions: PartitionStore) -> SortPhaseReport:

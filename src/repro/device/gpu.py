@@ -212,6 +212,33 @@ class VirtualGPU:
             run_a.array.dtype.itemsize - keys_a.dtype.itemsize))
         return self._adopt(merged, label="merge-out")
 
+    def merge_records_device_k(self, runs: Sequence[DeviceArray], *,
+                               key_field: str = "key") -> DeviceArray:
+        """Gathered k-way merge of sorted packed-record runs (fanout-k).
+
+        One kernel replaces a ``⌈log₂ k⌉``-deep pairwise tournament; the
+        clock is charged for that tournament depth, since the gathered
+        formulation still performs ``log k`` comparisons per record.
+        """
+        runs = list(runs)
+        if not runs:
+            raise ConfigError("k-way merge needs at least one run")
+        self._check_live(*runs)
+        key_columns = [self._key_column(run, key_field) for run in runs]
+        for index, keys in enumerate(key_columns):
+            kernels.require_sorted(keys, context=f"merge run {index}")
+        if len(runs) == 1:
+            return self._adopt(runs[0].array.copy(), label="merge-out")
+        _, (merged,) = kernels.merge_sorted_records_k(
+            key_columns, tuple((run.array,) for run in runs))
+        total = sum(len(run) for run in runs)
+        key_nbytes = key_columns[0].dtype.itemsize
+        depth = max(1, math.ceil(math.log2(len(runs))))
+        self.clock.charge("kernel", depth * costs.merge_pairs_seconds(
+            self.spec, total, key_nbytes,
+            runs[0].array.dtype.itemsize - key_nbytes))
+        return self._adopt(merged, label="merge-out")
+
     def bounds_records(self, haystack: DeviceArray, queries: DeviceArray, *,
                        key_field: str = "key") -> tuple[DeviceArray, DeviceArray]:
         """Vectorized bounds of query record keys within haystack record keys."""

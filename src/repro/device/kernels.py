@@ -15,6 +15,8 @@ GPU sort the paper builds on). They are equivalent; tests assert it.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..errors import SortContractError
@@ -89,6 +91,37 @@ def merge_sorted_records(keys_a: np.ndarray, payloads_a: Payloads,
         out[pos_b] = payload_b
         out_payloads.append(out)
     return out_keys, tuple(out_payloads)
+
+
+def merge_sorted_records_k(runs_keys: Sequence[np.ndarray],
+                           runs_payloads: Sequence[Payloads],
+                           ) -> tuple[np.ndarray, Payloads]:
+    """Stable gathered k-way merge of sorted runs (run order breaks ties).
+
+    The k runs are concatenated and a stable key sort produces the gather
+    stencil — one global data movement instead of ``k - 1`` pairwise
+    passes, which is how a GPU multiway merge batches its way through a
+    tournament. Equivalent to folding :func:`merge_sorted_records` over
+    the runs; tests assert it.
+    """
+    runs_keys = tuple(runs_keys)
+    runs_payloads = tuple(tuple(p) for p in runs_payloads)
+    if len(runs_keys) != len(runs_payloads) or not runs_keys:
+        raise SortContractError("k-way merge needs one payload tuple per run")
+    arities = {len(payloads) for payloads in runs_payloads}
+    if len(arities) != 1:
+        raise SortContractError("runs carry different payload arity")
+    for keys, payloads in zip(runs_keys, runs_payloads):
+        _check_payloads(keys, payloads)
+    if len(runs_keys) == 1:
+        return (runs_keys[0].copy(),
+                tuple(p.copy() for p in runs_payloads[0]))
+    all_keys = np.concatenate(runs_keys)
+    order = np.argsort(all_keys, kind="stable")
+    out_payloads = tuple(
+        np.concatenate([payloads[lane] for payloads in runs_payloads])[order]
+        for lane in range(arities.pop()))
+    return all_keys[order], out_payloads
 
 
 def _common_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:

@@ -8,18 +8,20 @@ This package implements the paper's semi-streaming machinery (§III):
   (the paper's Fig. 3 memory types),
 * :mod:`repro.extmem.partitions` — the per-overlap-length partition store
   produced by the map phase,
-* :mod:`repro.extmem.merge` — Algorithm 1 (window-equalized merge of two
-  sorted runs),
+* :mod:`repro.extmem.merge` — Algorithm 1 generalized to fanout-k
+  (window-equalized merge of k sorted runs; pairwise is ``k = 2``),
 * :mod:`repro.extmem.sort` — the hybrid two-level external sort
-  (disk → host blocks of ``m_h`` → device chunks of ``m_d``).
+  (disk → host blocks of ``m_h`` → device chunks of ``m_d``), merging
+  ``merge_fanout`` runs per round.
 """
 
 from .records import kv_dtype, make_records, record_fields
 from .io_stats import IOAccountant
 from .streams import RunReader, RunWriter
 from .partitions import PartitionStore
-from .merge import merge_runs, merge_in_memory
-from .sort import ExternalSorter, SortReport
+from .merge import (merge_runs, merge_runs_k, merge_in_memory,
+                    merge_in_memory_k, merge_streams, merge_streams_k)
+from .sort import ExternalSorter, SortReport, derive_fanout, merge_rounds_for
 
 __all__ = [
     "kv_dtype",
@@ -30,7 +32,13 @@ __all__ = [
     "RunWriter",
     "PartitionStore",
     "merge_runs",
+    "merge_runs_k",
     "merge_in_memory",
+    "merge_in_memory_k",
+    "merge_streams",
+    "merge_streams_k",
     "ExternalSorter",
     "SortReport",
+    "derive_fanout",
+    "merge_rounds_for",
 ]

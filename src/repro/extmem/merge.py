@@ -1,24 +1,34 @@
-"""Algorithm 1: external-memory merging of two sorted runs.
+"""Algorithm 1, generalized: external-memory merging of k sorted runs.
 
-The merge never random-accesses its inputs. It slides a window of ``M/2``
-records over each run and, per iteration, either
+The merge never random-accesses its inputs. It slides a window of ``M/k``
+records over each of the ``k`` runs and, per iteration, either
 
-* copies one window straight through when the runs are totally ordered at
-  the window boundary (lines 5–6 of Algorithm 1), or
-* *equalizes* the windows — shrinks the window holding the larger tail key
-  to the upper bound of the smaller tail key (lines 8–15) — and hands the
-  equalized pair to the merge executor (``GPU_MERGE``, line 16).
+* copies one window straight through when it wholly precedes every other
+  run's head (lines 5–6 of Algorithm 1), or
+* *equalizes* the windows — truncates every window at the smallest tail
+  key among the k windows (lines 8–15 generalized: any record at or below
+  that boundary can never be preceded by an unread record) — and hands the
+  equalized prefixes to the merge executor (``GPU_MERGE``, line 16).
 
-The same routine is used at both levels of the two-level model:
-disk runs merged through host memory, and host blocks merged through device
-memory; only the chunk *source*, the *emit* sink, and the merge executor
-differ. Output order is always globally sorted; ordering among equal keys
-is not preserved across window boundaries (fingerprints do not need it).
+The paper's pairwise Algorithm 1 is exactly the ``k = 2`` case
+(:func:`merge_streams`); :func:`merge_streams_k` is the fanout-k
+generalization that cuts level-1 merge rounds from ``⌈log₂ R⌉`` to
+``⌈log_k R⌉``, as in the k-way external merges of Bonizzoni et al. and
+Guidi et al.
+
+The same routine is used at both levels of the two-level model: disk runs
+merged through host memory, and host blocks merged through device memory;
+only the chunk *source*, the *emit* sink, and the merge executor differ.
+The executor is either a binary ``merge_fn`` (equalized prefixes are folded
+pairwise in a balanced tournament) or a k-ary ``merge_fn_k`` (a gathered
+k-way device kernel). Output order is always globally sorted; ordering
+among equal keys is not preserved across window boundaries (fingerprints
+do not need it).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -26,6 +36,7 @@ from ..errors import ConfigError
 from .records import KEY_FIELD
 
 MergeFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+MergeKFn = Callable[[Sequence[np.ndarray]], np.ndarray]
 EmitFn = Callable[[np.ndarray], None]
 
 
@@ -51,16 +62,34 @@ class ArraySource:
         return chunk
 
 
-def merge_streams(source_a: ChunkSource, source_b: ChunkSource, emit: EmitFn, *,
-                  window_records: int, merge_fn: MergeFn,
-                  key_field: str = KEY_FIELD) -> int:
-    """Run Algorithm 1; returns the number of records emitted.
+def _tournament_fold(parts: list[np.ndarray], merge_fn: MergeFn) -> np.ndarray:
+    """Fold k sorted parts into one via balanced pairwise merges."""
+    while len(parts) > 1:
+        folded = [merge_fn(parts[i], parts[i + 1])
+                  for i in range(0, len(parts) - 1, 2)]
+        if len(parts) % 2:
+            folded.append(parts[-1])
+        parts = folded
+    return parts[0]
 
-    ``window_records`` is ``M/2`` — the per-run window size; the merge
-    executor therefore never sees more than ``2 * window_records`` records.
+
+def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
+                    window_records: int, merge_fn: MergeFn | None = None,
+                    merge_fn_k: MergeKFn | None = None,
+                    key_field: str = KEY_FIELD) -> int:
+    """Fanout-k Algorithm 1; returns the number of records emitted.
+
+    ``window_records`` is ``M/k`` — the per-run window size; the merge
+    executor therefore never sees more than ``len(sources) *
+    window_records`` records. ``merge_fn_k`` merges the equalized window
+    prefixes in one shot when provided; otherwise the binary ``merge_fn``
+    is folded over them pairwise. At least one executor is required.
     """
     if window_records < 1:
         raise ConfigError("window_records must be >= 1")
+    if merge_fn is None and merge_fn_k is None:
+        raise ConfigError("merge_streams_k needs merge_fn or merge_fn_k")
+    sources = list(sources)
     emitted = 0
 
     def _emit(records: np.ndarray) -> None:
@@ -69,74 +98,122 @@ def merge_streams(source_a: ChunkSource, source_b: ChunkSource, emit: EmitFn, *,
             emit(records)
             emitted += records.shape[0]
 
-    empty = source_a.read(0)
-    buf_a = empty
-    buf_b = empty
+    def _merge_parts(parts: list[np.ndarray]) -> np.ndarray:
+        if len(parts) == 1:
+            return parts[0]
+        if merge_fn_k is not None:
+            return merge_fn_k(parts)
+        return _tournament_fold(parts, merge_fn)
+
+    if not sources:
+        return 0
+    empty = sources[0].read(0)
+    bufs: list[np.ndarray] = [empty] * len(sources)
+    active = list(range(len(sources)))
     while True:
-        if buf_a.shape[0] < window_records:
-            extra = source_a.read(window_records - buf_a.shape[0])
-            buf_a = extra if buf_a.shape[0] == 0 else np.concatenate([buf_a, extra])
-        if buf_b.shape[0] < window_records:
-            extra = source_b.read(window_records - buf_b.shape[0])
-            buf_b = extra if buf_b.shape[0] == 0 else np.concatenate([buf_b, extra])
-        if buf_a.shape[0] == 0 or buf_b.shape[0] == 0:
-            # Line 19: one run is exhausted; stream the other straight out.
-            _emit(buf_a)
-            _emit(buf_b)
-            survivor = source_a if buf_b.shape[0] == 0 else source_b
+        # Refill every window; drop sources exhausted with an empty buffer.
+        for i in list(active):
+            if bufs[i].shape[0] < window_records:
+                extra = sources[i].read(window_records - bufs[i].shape[0])
+                if extra.shape[0]:
+                    bufs[i] = (extra if bufs[i].shape[0] == 0
+                               else np.concatenate([bufs[i], extra]))
+            if bufs[i].shape[0] == 0:
+                active.remove(i)
+        if not active:
+            return emitted
+        if len(active) == 1:
+            # Line 19: every other run is exhausted; stream the survivor out.
+            survivor = active[0]
+            _emit(bufs[survivor])
             while True:
-                chunk = survivor.read(window_records)
+                chunk = sources[survivor].read(window_records)
                 if chunk.shape[0] == 0:
                     return emitted
                 _emit(chunk)
-        keys_a = buf_a[key_field]
-        keys_b = buf_b[key_field]
-        if keys_a[-1] <= keys_b[0]:  # A ≺ B
-            _emit(buf_a)
-            buf_a = empty
+        heads = {i: bufs[i][key_field][0] for i in active}
+        tails = {i: bufs[i][key_field][-1] for i in active}
+        # Pass-through fast path: a window wholly preceding all other heads.
+        passthrough = next(
+            (i for i in active
+             if all(tails[i] <= heads[j] for j in active if j != i)), None)
+        if passthrough is not None:
+            _emit(bufs[passthrough])
+            bufs[passthrough] = empty
             continue
-        if keys_b[-1] < keys_a[0]:  # B ≺ A
-            _emit(buf_b)
-            buf_b = empty
-            continue
-        # Equalize windows on the smaller tail key, then merge (lines 8-16).
-        if keys_a[-1] <= keys_b[-1]:
-            boundary = keys_a[-1]
-            rank = int(np.searchsorted(keys_b, boundary, side="right"))
-            _emit(merge_fn(buf_a, buf_b[:rank]))
-            buf_a = empty
-            buf_b = buf_b[rank:]
-        else:
-            boundary = keys_b[-1]
-            rank = int(np.searchsorted(keys_a, boundary, side="right"))
-            _emit(merge_fn(buf_a[:rank], buf_b))
-            buf_b = empty
-            buf_a = buf_a[rank:]
+        # Equalize every window at the smallest tail key, then merge: any
+        # record <= that boundary precedes every unread record of every run.
+        boundary = min(tails.values())
+        parts: list[np.ndarray] = []
+        for i in active:
+            rank = int(np.searchsorted(bufs[i][key_field], boundary,
+                                       side="right"))
+            if rank:
+                parts.append(bufs[i][:rank])
+                bufs[i] = bufs[i][rank:]
+        _emit(_merge_parts(parts))
+
+
+def merge_streams(source_a: ChunkSource, source_b: ChunkSource, emit: EmitFn, *,
+                  window_records: int, merge_fn: MergeFn,
+                  key_field: str = KEY_FIELD) -> int:
+    """Run pairwise Algorithm 1 (the ``k = 2`` case of
+    :func:`merge_streams_k`); returns the number of records emitted.
+
+    ``window_records`` is ``M/2`` — the per-run window size; the merge
+    executor therefore never sees more than ``2 * window_records`` records.
+    """
+    return merge_streams_k([source_a, source_b], emit,
+                           window_records=window_records, merge_fn=merge_fn,
+                           key_field=key_field)
+
+
+def merge_in_memory_k(runs: Sequence[np.ndarray], *, window_records: int,
+                      merge_fn: MergeFn | None = None,
+                      merge_fn_k: MergeKFn | None = None,
+                      key_field: str = KEY_FIELD) -> np.ndarray:
+    """Fanout-k Algorithm 1 over in-memory runs; returns the merged run.
+
+    This is the *second level* of the hybrid sort: host-resident blocks are
+    merged by streaming device-sized windows through the merge executor.
+    """
+    runs = list(runs)
+    if not runs:
+        raise ConfigError("merge_in_memory_k needs at least one run")
+    chunks: list[np.ndarray] = []
+    merge_streams_k([ArraySource(run) for run in runs], chunks.append,
+                    window_records=window_records, merge_fn=merge_fn,
+                    merge_fn_k=merge_fn_k, key_field=key_field)
+    if not chunks:
+        return runs[0][:0].copy()
+    return np.concatenate(chunks)
 
 
 def merge_in_memory(records_a: np.ndarray, records_b: np.ndarray, *,
                     window_records: int, merge_fn: MergeFn,
                     key_field: str = KEY_FIELD) -> np.ndarray:
-    """Algorithm 1 over two in-memory runs; returns the merged run.
+    """Pairwise Algorithm 1 over two in-memory runs; returns the merged run."""
+    return merge_in_memory_k([records_a, records_b],
+                             window_records=window_records, merge_fn=merge_fn,
+                             key_field=key_field)
 
-    This is the *second level* of the hybrid sort: host-resident blocks are
-    merged by streaming device-sized windows through ``merge_fn``.
+
+def merge_runs_k(readers: Sequence[ChunkSource], writer, *,
+                 window_records: int, merge_fn: MergeFn | None = None,
+                 merge_fn_k: MergeKFn | None = None,
+                 key_field: str = KEY_FIELD) -> int:
+    """Fanout-k Algorithm 1 over on-disk runs; appends to an open RunWriter.
+
+    This is the *first level*: disk runs merged through host memory.
     """
-    chunks: list[np.ndarray] = []
-    merge_streams(ArraySource(records_a), ArraySource(records_b), chunks.append,
-                  window_records=window_records, merge_fn=merge_fn,
-                  key_field=key_field)
-    if not chunks:
-        return records_a[:0].copy()
-    return np.concatenate(chunks)
+    return merge_streams_k(readers, writer.append,
+                           window_records=window_records, merge_fn=merge_fn,
+                           merge_fn_k=merge_fn_k, key_field=key_field)
 
 
 def merge_runs(reader_a, reader_b, writer, *, window_records: int,
                merge_fn: MergeFn, key_field: str = KEY_FIELD) -> int:
-    """Algorithm 1 over two on-disk runs; appends to an open RunWriter.
-
-    This is the *first level*: disk runs merged through host memory.
-    """
-    return merge_streams(reader_a, reader_b, writer.append,
-                         window_records=window_records, merge_fn=merge_fn,
-                         key_field=key_field)
+    """Pairwise Algorithm 1 over two on-disk runs (``k = 2``)."""
+    return merge_runs_k([reader_a, reader_b], writer,
+                        window_records=window_records, merge_fn=merge_fn,
+                        key_field=key_field)

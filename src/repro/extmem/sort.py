@@ -1,25 +1,36 @@
-"""The hybrid two-level external sort (§III.B).
+"""The hybrid two-level external sort (§III.B), with fanout-k merging.
 
 Level 1 (disk ↔ host): the input run is read in *host blocks* of ``m_h``
 records, each block is sorted and written back as an initial run; runs are
-then merged pairwise (Algorithm 1 streaming through host windows) until one
-remains. Disk passes: ``1 + ⌈log₂(number of initial runs)⌉``.
+then merged ``merge_fanout`` at a time (Algorithm 1 generalized to k
+streams, each windowed at ``m_h / (HOST_KWAY_FOOTPRINT · k)`` records)
+until one remains. Disk passes: ``1 + ⌈log_k(number of initial runs)⌉`` —
+the paper's pairwise merge is the ``k = 2`` case, and raising the fanout
+trades host window size for disk passes exactly as the k-way external
+merges of Bonizzoni et al. and Guidi et al. do.
 
 Level 2 (host ↔ device): a host block is sorted by splitting it into
 *device chunks* of ``m_d`` records, radix-sorting each on the virtual GPU,
-and merging the sorted chunks pairwise with Algorithm 1 streaming
-device-sized windows — so the device never holds more than its capacity,
-while the disk sees only the level-1 traffic. This is the paper's key
-optimization: host buffering cuts disk passes by ``log(m_h/m_d)`` without
-changing the device-side work.
+and merging the sorted chunks ``merge_fanout`` at a time with Algorithm 1
+streaming device-sized windows — so the device never holds more than its
+capacity, while the disk sees only the level-1 traffic. This is the
+paper's key optimization: host buffering cuts disk passes by
+``log(m_h/m_d)`` without changing the device-side work.
 
 Footprint divisors translate the paper's "``m`` elements fit in memory"
 into concrete buffer sizes that include the scratch space the kernels need
 (ping-pong sort buffers, merge inputs + output).
+
+Crash safety: all intermediate runs live in a ``<out>.scratch`` directory
+that is removed whether the sort succeeds or raises, and the final run is
+moved into place with an atomic :meth:`Path.replace` — an interrupted sort
+never leaves partial output or scratch residue behind.
 """
 
 from __future__ import annotations
 
+import math
+from contextlib import ExitStack
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,18 +40,57 @@ from ..device.gpu import VirtualGPU
 from ..device.memory import MemoryPool
 from ..errors import ConfigError
 from .io_stats import IOAccountant
-from .merge import merge_in_memory, merge_streams
+from .merge import merge_in_memory_k, merge_streams_k
 from .records import KEY_FIELD
 from .streams import RunReader, RunWriter
 
 #: A block being sorted in host memory needs itself + its sorted copy.
 HOST_SORT_FOOTPRINT = 2
-#: A level-1 merge holds two input windows and one merged output window.
+#: A pairwise level-1 merge holds two input windows and one merged output
+#: window (kept for the ``k = 2`` window arithmetic and older callers).
 HOST_MERGE_FOOTPRINT = 4
+#: Per-way cost of a fanout-k merge: one input window plus that window's
+#: share of the merged output. k ways therefore claim
+#: ``HOST_KWAY_FOOTPRINT · k`` windows of host budget, so each window is
+#: ``m_h / (HOST_KWAY_FOOTPRINT · k)`` records (``k = 2`` reproduces
+#: HOST_MERGE_FOOTPRINT).
+HOST_KWAY_FOOTPRINT = 2
 #: Device radix sort: input + ping-pong scratch + output.
 DEVICE_SORT_FOOTPRINT = 3
 #: Device merge: two input windows + merged output (+ slack).
 DEVICE_MERGE_FOOTPRINT = 4
+#: Per-way device cost of a gathered k-way merge (inputs + output).
+DEVICE_KWAY_FOOTPRINT = 2
+#: Ceiling for the auto-derived merge fanout: past ~16 ways the windows
+#: shrink enough that per-window seek overhead erases the pass saving.
+MAX_AUTO_FANOUT = 16
+
+
+def derive_fanout(host_block_pairs: int, device_block_pairs: int) -> int:
+    """Auto merge fanout for a host/device budget split.
+
+    Picks the largest ``k`` (capped at :data:`MAX_AUTO_FANOUT`) whose
+    level-1 windows ``m_h / (HOST_KWAY_FOOTPRINT · k)`` still hold at
+    least one device chunk, so the level-2 device streaming below each
+    window stays efficient.
+    """
+    device_chunk = max(2, device_block_pairs // DEVICE_SORT_FOOTPRINT)
+    return max(2, min(MAX_AUTO_FANOUT,
+                      host_block_pairs // (HOST_KWAY_FOOTPRINT * device_chunk)))
+
+
+def merge_rounds_for(initial_runs: int, fanout: int) -> int:
+    """``⌈log_k R⌉`` — merge rounds to fold ``initial_runs`` into one.
+
+    Computed by iterated ceil-division, exactly as the merge loop groups
+    runs, so model and implementation can never disagree on rounding.
+    """
+    rounds = 0
+    runs = max(0, initial_runs)
+    while runs > 1:
+        runs = math.ceil(runs / fanout)
+        rounds += 1
+    return rounds
 
 
 @dataclass(frozen=True)
@@ -50,6 +100,8 @@ class SortReport:
     n_records: int
     initial_runs: int
     merge_rounds: int
+    #: Merge fanout ``k`` used for the level-1 rounds (2 = pairwise).
+    fanout: int = 2
 
     @property
     def disk_passes(self) -> int:
@@ -63,9 +115,11 @@ class ExternalSorter:
     def __init__(self, *, gpu: VirtualGPU, host_pool: MemoryPool,
                  accountant: IOAccountant | None, dtype: np.dtype,
                  host_block_pairs: int, device_block_pairs: int,
-                 key_field: str = KEY_FIELD):
+                 merge_fanout: int = 2, key_field: str = KEY_FIELD):
         if host_block_pairs < 2 or device_block_pairs < 2:
             raise ConfigError("block sizes must be >= 2 records")
+        if merge_fanout < 0 or merge_fanout == 1:
+            raise ConfigError("merge_fanout must be 0 (auto) or >= 2")
         self.gpu = gpu
         self.host_pool = host_pool
         self.accountant = accountant
@@ -73,10 +127,18 @@ class ExternalSorter:
         self.key_field = key_field
         self.m_h = host_block_pairs
         self.m_d = min(device_block_pairs, host_block_pairs)
+        self.fanout = merge_fanout or derive_fanout(self.m_h, self.m_d)
         self.host_block = max(2, self.m_h // HOST_SORT_FOOTPRINT)
         self.host_merge_window = max(1, self.m_h // HOST_MERGE_FOOTPRINT)
+        self.host_kway_window = max(
+            1, self.m_h // (HOST_KWAY_FOOTPRINT * self.fanout))
         self.device_chunk = max(2, self.m_d // DEVICE_SORT_FOOTPRINT)
         self.device_merge_window = max(1, self.m_d // DEVICE_MERGE_FOOTPRINT)
+        self.device_kway_window = max(
+            1, self.m_d // (DEVICE_KWAY_FOOTPRINT * self.fanout))
+        #: Largest equalized-window total the gathered device k-way kernel
+        #: may see (inputs + merged output must both fit the device pool).
+        self.device_kway_budget = max(2, self.m_d // DEVICE_KWAY_FOOTPRINT)
 
     # -- level 2: device-backed host-block sorting ----------------------------
 
@@ -98,6 +160,40 @@ class ExternalSorter:
         merged_d.free()
         return out
 
+    def _device_merge_k(self, parts: list[np.ndarray]) -> np.ndarray:
+        """Gathered k-way device merge of window prefixes (all fit at once)."""
+        handles = [self.gpu.to_device(part, label="merge-way") for part in parts]
+        merged_d = self.gpu.merge_records_device_k(handles, key_field=self.key_field)
+        for handle in handles:
+            handle.free()
+        out = self.gpu.to_host(merged_d)
+        merged_d.free()
+        return out
+
+    def merge_windows(self, parts: list[np.ndarray]) -> np.ndarray:
+        """Merge equalized window prefixes through the device (k-ary executor).
+
+        Small totals go through one gathered k-way kernel; totals beyond
+        the device budget fall back to a pairwise tournament whose legs
+        stream device-sized windows, so the device pool bound holds for
+        any host window size.
+        """
+        parts = [part for part in parts if part.shape[0]]
+        if not parts:
+            return np.empty(0, dtype=self.dtype)
+        if len(parts) == 1:
+            return parts[0]
+        total = sum(part.shape[0] for part in parts)
+        if total <= self.device_kway_budget:
+            return self._device_merge_k(parts)
+        while len(parts) > 1:
+            folded = [self.merge_blocks_in_host(parts[i], parts[i + 1])
+                      for i in range(0, len(parts) - 1, 2)]
+            if len(parts) % 2:
+                folded.append(parts[-1])
+            parts = folded
+        return parts[0]
+
     def sort_block_in_host(self, records: np.ndarray) -> np.ndarray:
         """Sort one host-resident block by streaming device chunks (level 2)."""
         if records.shape[0] <= self.device_chunk:
@@ -106,30 +202,47 @@ class ExternalSorter:
                 for start in range(0, records.shape[0], self.device_chunk)]
         while len(runs) > 1:
             next_runs = []
-            for i in range(0, len(runs) - 1, 2):
-                next_runs.append(merge_in_memory(
-                    runs[i], runs[i + 1],
-                    window_records=self.device_merge_window,
-                    merge_fn=self._device_merge, key_field=self.key_field))
-            if len(runs) % 2:
-                next_runs.append(runs[-1])
+            for start in range(0, len(runs), self.fanout):
+                group = runs[start:start + self.fanout]
+                if len(group) == 1:
+                    next_runs.append(group[0])
+                    continue
+                next_runs.append(merge_in_memory_k(
+                    group, window_records=self.device_kway_window,
+                    merge_fn=self._device_merge, merge_fn_k=self.merge_windows,
+                    key_field=self.key_field))
             runs = next_runs
         return runs[0]
 
     def merge_blocks_in_host(self, records_a: np.ndarray, records_b: np.ndarray
                              ) -> np.ndarray:
         """Merge two sorted host blocks via device-sized windows (level 2)."""
-        return merge_in_memory(records_a, records_b,
-                               window_records=self.device_merge_window,
-                               merge_fn=self._device_merge, key_field=self.key_field)
+        return merge_in_memory_k([records_a, records_b],
+                                 window_records=self.device_merge_window,
+                                 merge_fn=self._device_merge,
+                                 key_field=self.key_field)
 
     # -- level 1: disk-backed run sorting ---------------------------------------
 
     def sort_file(self, in_path: str | Path, out_path: str | Path) -> SortReport:
-        """Sort a run file into ``out_path``; returns the :class:`SortReport`."""
+        """Sort a run file into ``out_path``; returns the :class:`SortReport`.
+
+        Crash-safe: scratch space is torn down on both success and failure,
+        and ``out_path`` appears atomically (rename of a finished run).
+        """
         in_path, out_path = Path(in_path), Path(out_path)
         scratch_dir = out_path.parent / (out_path.name + ".scratch")
         scratch_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            return self._sort_into(in_path, out_path, scratch_dir)
+        finally:
+            if scratch_dir.exists():
+                for stray in scratch_dir.iterdir():
+                    stray.unlink()
+                scratch_dir.rmdir()
+
+    def _sort_into(self, in_path: Path, out_path: Path,
+                   scratch_dir: Path) -> SortReport:
         record_nbytes = self.dtype.itemsize
 
         # Run formation: host blocks sorted through the device.
@@ -150,40 +263,47 @@ class ExternalSorter:
 
         initial_runs = len(run_paths)
         if initial_runs == 0:
-            out_path.write_bytes(b"")
-            scratch_dir.rmdir()
-            return SortReport(0, 0, 0)
+            empty_path = scratch_dir / "empty.run"
+            empty_path.write_bytes(b"")
+            empty_path.replace(out_path)
+            return SortReport(0, 0, 0, self.fanout)
 
-        # Merge rounds: pairwise Algorithm 1 through host windows.
+        # Merge rounds: fanout-k Algorithm 1 through host windows.
         merge_rounds = 0
         generation = 0
         while len(run_paths) > 1:
             merge_rounds += 1
             next_paths: list[Path] = []
-            for i in range(0, len(run_paths) - 1, 2):
-                merged_path = scratch_dir / f"merge_{generation:03d}_{i // 2:05d}.run"
-                pair_records = (run_paths[i].stat().st_size
-                                + run_paths[i + 1].stat().st_size) // record_nbytes
-                working = min(self.host_merge_window * HOST_MERGE_FOOTPRINT,
-                              2 * pair_records) * record_nbytes
+            for group_index, start in enumerate(range(0, len(run_paths),
+                                                      self.fanout)):
+                group = run_paths[start:start + self.fanout]
+                if len(group) == 1:
+                    next_paths.append(group[0])
+                    continue
+                merged_path = (scratch_dir /
+                               f"merge_{generation:03d}_{group_index:05d}.run")
+                group_records = (sum(p.stat().st_size for p in group)
+                                 // record_nbytes)
+                working = min(
+                    self.host_kway_window * HOST_KWAY_FOOTPRINT * len(group),
+                    2 * group_records) * record_nbytes
                 with self.host_pool.alloc(working, label="merge-windows"), \
-                        RunReader(run_paths[i], self.dtype, self.accountant) as ra, \
-                        RunReader(run_paths[i + 1], self.dtype, self.accountant) as rb, \
-                        RunWriter(merged_path, self.dtype, self.accountant) as writer:
-                    merge_streams(ra, rb, writer.append,
-                                  window_records=self.host_merge_window,
-                                  merge_fn=self.merge_blocks_in_host,
-                                  key_field=self.key_field)
-                run_paths[i].unlink()
-                run_paths[i + 1].unlink()
+                        ExitStack() as stack:
+                    readers = [stack.enter_context(
+                        RunReader(p, self.dtype, self.accountant))
+                        for p in group]
+                    writer = stack.enter_context(
+                        RunWriter(merged_path, self.dtype, self.accountant))
+                    merge_streams_k(readers, writer.append,
+                                    window_records=self.host_kway_window,
+                                    merge_fn=self.merge_blocks_in_host,
+                                    merge_fn_k=self.merge_windows,
+                                    key_field=self.key_field)
+                for path in group:
+                    path.unlink()
                 next_paths.append(merged_path)
-            if len(run_paths) % 2:
-                next_paths.append(run_paths[-1])
             run_paths = next_paths
             generation += 1
 
         run_paths[0].replace(out_path)
-        for stray in scratch_dir.glob("*.run"):
-            stray.unlink()
-        scratch_dir.rmdir()
-        return SortReport(n_records, initial_runs, merge_rounds)
+        return SortReport(n_records, initial_runs, merge_rounds, self.fanout)

@@ -42,9 +42,17 @@ class RunWriter:
         self.path = Path(path)
         self.dtype = np.dtype(dtype)
         self._accountant = accountant
+        # The exclusivity check must precede open() — "wb" truncates, and a
+        # conflicting open must not destroy a run another stream is reading —
+        # but the registration only sticks once the handle exists: a failed
+        # open must not leave a stale entry poisoning every later open.
         _register(self.path, "w")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "wb")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "wb")
+        except BaseException:
+            _unregister(self.path)
+            raise
         self._records_written = 0
         # Writes charge bandwidth only: the write-only memory is appended
         # through the OS write-behind cache, which amortizes head movement
@@ -91,8 +99,14 @@ class RunReader:
         self.path = Path(path)
         self.dtype = np.dtype(dtype)
         self._accountant = accountant
+        # Registration only sticks once the handle is open (see RunWriter):
+        # a missing file or permission error must not leave a stale entry.
         _register(self.path, "r")
-        self._handle = open(self.path, "rb")
+        try:
+            self._handle = open(self.path, "rb")
+        except BaseException:
+            _unregister(self.path)
+            raise
         size = self.path.stat().st_size
         if size % self.dtype.itemsize:
             _unregister(self.path)

@@ -85,18 +85,38 @@ class PhaseStats:
 
 
 class _PhaseContext:
-    """Context manager produced by :meth:`Telemetry.phase`."""
+    """Context manager produced by :meth:`Telemetry.phase`.
+
+    Phases nest: entering an inner phase folds the gauges observed so far
+    into every *enclosing* context's accumulator before resetting the
+    meters, so an outer phase's peak covers its whole extent — including
+    everything that happened inside inner phases (outer peak ≥ inner peak).
+    """
 
     def __init__(self, telemetry: "Telemetry", name: str):
         self._telemetry = telemetry
         self._name = name
         self._start_wall = 0.0
         self._start_counters: dict[str, float] = {}
+        self._peak_acc: dict[str, float] = {}
+
+    def _fold_current_peaks(self) -> dict[str, float]:
+        peaks = self._peak_acc
+        for meter in self._telemetry._meters:
+            for key, value in meter.peaks().items():
+                peaks[key] = max(peaks.get(key, 0.0), value)
+        return peaks
 
     def __enter__(self) -> "_PhaseContext":
         self._start_counters = self._telemetry._counter_totals()
+        # Bank the peaks the enclosing phases have already seen — resetting
+        # the meters for this phase must not erase them.
+        for enclosing in self._telemetry._active:
+            enclosing._fold_current_peaks()
         for meter in self._telemetry._meters:
             meter.reset_peaks()
+        self._peak_acc = {}
+        self._telemetry._active.append(self)
         self._start_wall = time.perf_counter()
         return self
 
@@ -106,9 +126,10 @@ class _PhaseContext:
         end_counters = self._telemetry._counter_totals()
         for key, value in end_counters.items():
             stats.counters[key] = value - self._start_counters.get(key, 0.0)
-        for meter in self._telemetry._meters:
-            for key, value in meter.peaks().items():
-                stats.peaks[key] = max(stats.peaks.get(key, 0.0), value)
+        # Meters are NOT reset here: the gauges since the last reset (this
+        # phase's entry) stay visible, so enclosing phases absorb them too.
+        stats.peaks = dict(self._fold_current_peaks())
+        self._telemetry._active.remove(self)
         self._telemetry._record(stats)
 
 
@@ -124,6 +145,7 @@ class Telemetry:
         self._meters: list[Meter] = []
         self._phases: dict[str, PhaseStats] = {}
         self._order: list[str] = []
+        self._active: list[_PhaseContext] = []
 
     def register(self, meter: Meter) -> None:
         """Attach a telemetry source; subsequent phases include its data."""

@@ -66,10 +66,24 @@ class TestAssemblyConfig:
         {"fingerprint_lanes": 3},
         {"map_batch_reads": -1},
         {"host_block_pairs": -5},
+        {"merge_fanout": 1},
+        {"merge_fanout": -2},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ConfigError):
             AssemblyConfig(**kwargs)
+
+    def test_merge_fanout_defaults_pairwise(self):
+        assert AssemblyConfig().merge_fanout == 2
+        assert AssemblyConfig().resolved_fanout(20) == 2
+
+    def test_merge_fanout_auto_derives_from_budgets(self):
+        from repro.extmem.sort import derive_fanout
+
+        config = AssemblyConfig(merge_fanout=0)
+        m_h, m_d = config.resolved_blocks(20)
+        assert config.resolved_fanout(20) == derive_fanout(m_h, m_d) >= 2
+        assert AssemblyConfig(merge_fanout=8).resolved_fanout(20) == 8
 
     def test_resolved_blocks_defaults_from_memory(self):
         config = AssemblyConfig(memory=MemoryConfig(10_000, 1_000,

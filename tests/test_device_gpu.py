@@ -127,6 +127,41 @@ class TestRecordKernels:
         with pytest.raises(ConfigError, match="key field"):
             gpu.sort_records_device(raw)
 
+    def test_merge_records_device_k(self, gpu, rng):
+        runs = [self._records(rng, n) for n in (80, 50, 30, 20)]
+        for run in runs:
+            run.sort(order="key")
+        before = gpu.clock.total_seconds
+        merged = gpu.merge_records_device_k([gpu.to_device(r) for r in runs])
+        expected = np.sort(np.concatenate([r["key"] for r in runs]))
+        assert np.array_equal(merged.array["key"], expected)
+        assert gpu.clock.total_seconds > before
+
+    def test_merge_records_device_k_requires_sorted(self, gpu, rng):
+        from repro.errors import SortContractError
+
+        sorted_run = self._records(rng, 20)
+        sorted_run.sort(order="key")
+        unsorted = np.array(sorted_run[::-1])
+        with pytest.raises(SortContractError):
+            gpu.merge_records_device_k([gpu.to_device(sorted_run),
+                                        gpu.to_device(unsorted)])
+
+    def test_merge_records_device_k_charges_tournament_depth(self, gpu, rng):
+        """Merging 4 runs costs twice the kernel time of merging 2 runs of
+        the same total size (⌈log₂ 4⌉ = 2 comparison levels)."""
+        halves = [self._records(rng, 60) for _ in range(2)]
+        quarters = [self._records(rng, 30) for _ in range(4)]
+        for run in halves + quarters:
+            run.sort(order="key")
+        t0 = gpu.clock.seconds("kernel")
+        gpu.merge_records_device_k([gpu.to_device(r) for r in halves])
+        two_way = gpu.clock.seconds("kernel") - t0
+        t1 = gpu.clock.seconds("kernel")
+        gpu.merge_records_device_k([gpu.to_device(r) for r in quarters])
+        four_way = gpu.clock.seconds("kernel") - t1
+        assert four_way == pytest.approx(2 * two_way)
+
 
 class TestTimingModel:
     def test_shared_clock(self):

@@ -5,8 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.device.kernels import (exclusive_scan, gather, lsd_radix_sort_indices,
-                                  merge_sorted_records, require_sorted, scatter,
-                                  sort_records, vectorized_bounds)
+                                  merge_sorted_records, merge_sorted_records_k,
+                                  require_sorted, scatter, sort_records,
+                                  vectorized_bounds)
 from repro.errors import SortContractError
 
 keys_strategy = st.lists(st.integers(0, 2**64 - 1), min_size=0, max_size=300)
@@ -84,6 +85,47 @@ class TestMerge:
     def test_arity_mismatch(self):
         with pytest.raises(SortContractError):
             merge_sorted_records(_keys([1]), (np.zeros(1),), _keys([2]), ())
+
+
+class TestMergeK:
+    @given(st.lists(st.lists(st.integers(0, 2**64 - 1), min_size=0,
+                             max_size=120), min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_equals_pairwise_fold(self, runs_values):
+        """The gathered k-way kernel matches folding the binary merge."""
+        runs = [np.sort(_keys(values)) for values in runs_values]
+        payloads = [np.arange(run.shape[0], dtype=np.uint32) + 1000 * index
+                    for index, run in enumerate(runs)]
+        merged_keys, (merged_payload,) = merge_sorted_records_k(
+            tuple(runs), tuple((p,) for p in payloads))
+        folded_keys, folded_payload = runs[0], payloads[0]
+        for run, payload in zip(runs[1:], payloads[1:]):
+            folded_keys, (folded_payload,) = merge_sorted_records(
+                folded_keys, (folded_payload,), run, (payload,))
+        assert np.array_equal(merged_keys, folded_keys)
+        assert np.array_equal(merged_payload, folded_payload)
+
+    def test_earlier_run_precedes_equal_later(self):
+        runs = (_keys([5, 5]), _keys([5]), _keys([5]))
+        payloads = ((np.array([0, 1]),), (np.array([2]),), (np.array([3]),))
+        _, (payload,) = merge_sorted_records_k(runs, payloads)
+        assert payload.tolist() == [0, 1, 2, 3]
+
+    def test_structured_payloads(self):
+        dtype = np.dtype([("key", "<u8"), ("val", "<u4")])
+        runs = [np.array([(1, 10), (4, 40)], dtype=dtype),
+                np.array([(2, 20)], dtype=dtype),
+                np.array([(3, 30), (5, 50)], dtype=dtype)]
+        _, (merged,) = merge_sorted_records_k(
+            tuple(run["key"] for run in runs), tuple((run,) for run in runs))
+        assert merged["val"].tolist() == [10, 20, 30, 40, 50]
+
+    def test_contract_violations(self):
+        with pytest.raises(SortContractError):
+            merge_sorted_records_k((), ())
+        with pytest.raises(SortContractError):
+            merge_sorted_records_k((_keys([1]), _keys([2])),
+                                   ((np.zeros(1),), ()))
 
 
 class TestBounds:

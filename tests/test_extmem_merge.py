@@ -1,11 +1,14 @@
-"""Algorithm 1: window-equalized merging."""
+"""Algorithm 1: window-equalized merging (pairwise and fanout-k)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError
-from repro.extmem import RunReader, RunWriter, merge_in_memory, merge_runs
+from repro.extmem import (RunReader, RunWriter, merge_in_memory,
+                          merge_in_memory_k, merge_runs, merge_runs_k,
+                          merge_streams_k)
+from repro.extmem.merge import ArraySource
 from repro.extmem.records import kv_dtype, make_records
 
 
@@ -67,6 +70,101 @@ class TestMergeInMemory:
         one_sided = merge_in_memory(_run([1, 2]), _run([]), window_records=4,
                                     merge_fn=_host_merge)
         assert one_sided["key"].tolist() == [1, 2]
+
+
+class TestMergeStreamsK:
+    @given(st.lists(sorted_keys, min_size=1, max_size=6), st.integers(1, 40))
+    @settings(max_examples=80)
+    def test_multiset_and_order(self, runs_keys, window):
+        runs = [_run(keys) for keys in runs_keys]
+        merged = merge_in_memory_k(runs, window_records=window,
+                                   merge_fn=_host_merge)
+        expected = np.sort(np.concatenate([r["key"] for r in runs]))
+        assert np.array_equal(merged["key"], expected)
+        assert sorted(merged["val"].tolist()) \
+            == sorted(v for r in runs for v in r["val"].tolist())
+
+    @given(sorted_keys, sorted_keys, st.integers(1, 40))
+    @settings(max_examples=40)
+    def test_k2_matches_pairwise(self, a_keys, b_keys, window):
+        a, b = _run(a_keys), _run(b_keys)
+        pairwise = merge_in_memory(a, b, window_records=window,
+                                   merge_fn=_host_merge)
+        kway = merge_in_memory_k([a, b], window_records=window,
+                                 merge_fn=_host_merge)
+        assert np.array_equal(pairwise["key"], kway["key"])
+
+    def test_pass_through_fast_path(self):
+        """Totally ordered windows are copied without calling any executor."""
+        calls = []
+
+        def spy(parts):
+            calls.append([p.shape[0] for p in parts])
+            return _host_merge(parts[0], parts[1])
+
+        runs = [_run([1, 2]), _run([10, 11]), _run([20, 21])]
+        merged = merge_in_memory_k(runs, window_records=4, merge_fn_k=spy)
+        assert merged["key"].tolist() == [1, 2, 10, 11, 20, 21]
+        assert calls == []
+
+    def test_merge_fn_k_receives_equalized_windows(self):
+        """Interleaved runs route through the k-ary executor, bounded by
+        k windows, and every handed part stops at the smallest tail key."""
+        seen = []
+
+        def gathered(parts):
+            seen.append(len(parts))
+            merged = parts[0]
+            for part in parts[1:]:
+                merged = _host_merge(merged, part)
+            return merged
+
+        runs = [_run([1, 4, 7]), _run([2, 5, 8]), _run([3, 6, 9])]
+        merged = merge_in_memory_k(runs, window_records=2, merge_fn_k=gathered)
+        assert merged["key"].tolist() == list(range(1, 10))
+        assert seen and all(n <= 3 for n in seen)
+
+    def test_single_and_empty_sources(self):
+        only = merge_in_memory_k([_run([3, 1])], window_records=4,
+                                 merge_fn=_host_merge)
+        assert only["key"].tolist() == [1, 3]
+        padded = merge_in_memory_k([_run([]), _run([2, 4]), _run([])],
+                                   window_records=4, merge_fn=_host_merge)
+        assert padded["key"].tolist() == [2, 4]
+        with pytest.raises(ConfigError):
+            merge_in_memory_k([], window_records=4, merge_fn=_host_merge)
+
+    def test_requires_an_executor(self):
+        with pytest.raises(ConfigError, match="merge_fn"):
+            merge_streams_k([ArraySource(_run([1]))], lambda _: None,
+                            window_records=4)
+
+    def test_no_sources_emits_nothing(self):
+        assert merge_streams_k([], lambda _: None, window_records=4,
+                               merge_fn=_host_merge) == 0
+
+
+class TestMergeRunsK:
+    def test_on_disk(self, tmp_path, rng):
+        dtype = kv_dtype(1)
+        runs = [_run(rng.integers(0, 1000, n)) for n in (400, 250, 150, 90)]
+        for index, records in enumerate(runs):
+            with RunWriter(tmp_path / f"run{index}", dtype) as writer:
+                writer.append(records)
+        readers = [RunReader(tmp_path / f"run{index}", dtype)
+                   for index in range(len(runs))]
+        try:
+            with RunWriter(tmp_path / "merged", dtype) as writer:
+                emitted = merge_runs_k(readers, writer, window_records=48,
+                                       merge_fn=_host_merge)
+        finally:
+            for reader in readers:
+                reader.close()
+        assert emitted == sum(r.shape[0] for r in runs)
+        with RunReader(tmp_path / "merged", dtype) as reader:
+            merged = reader.read_all()
+        expected = np.sort(np.concatenate([r["key"] for r in runs]))
+        assert np.array_equal(merged["key"], expected)
 
 
 class TestMergeRuns:

@@ -1,17 +1,21 @@
 """The hybrid two-level external sort."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.device import MemoryPool, SimClock, VirtualGPU
 from repro.errors import ConfigError, HostMemoryError
-from repro.extmem import ExternalSorter, IOAccountant, RunReader, RunWriter
+from repro.extmem import (ExternalSorter, IOAccountant, RunReader, RunWriter,
+                          derive_fanout, merge_rounds_for)
 from repro.extmem.records import kv_dtype, make_records
+from repro.model.sorting import predicted_sort_passes
 
 
 def _make_sorter(host_capacity=200_000, device_capacity=20_000, lanes=1,
-                 accountant=None):
+                 accountant=None, merge_fanout=2):
     dtype = kv_dtype(lanes)
     gpu = VirtualGPU("K40", capacity_bytes=device_capacity, clock=SimClock())
     host_pool = MemoryPool("host", host_capacity, HostMemoryError)
@@ -19,7 +23,7 @@ def _make_sorter(host_capacity=200_000, device_capacity=20_000, lanes=1,
     m_d = int(device_capacity * 0.85) // dtype.itemsize
     sorter = ExternalSorter(gpu=gpu, host_pool=host_pool, accountant=accountant,
                             dtype=dtype, host_block_pairs=m_h,
-                            device_block_pairs=m_d)
+                            device_block_pairs=m_d, merge_fanout=merge_fanout)
     return sorter, gpu, host_pool
 
 
@@ -123,6 +127,135 @@ class TestSortFile:
         _write_run(tmp_path / "in", records)
         sorter.sort_file(tmp_path / "in", tmp_path / "out")
         assert list(tmp_path.glob("out.scratch*")) == []
+
+
+class TestMergeFanout:
+    @given(n=st.integers(0, 20_000), seed=st.integers(0, 2**32 - 1),
+           host_capacity=st.integers(60_000, 400_000),
+           device_capacity=st.integers(4_000, 40_000),
+           fanout=st.sampled_from([2, 3, 4, 8]))
+    @settings(max_examples=16, deadline=None)
+    def test_sorted_output_and_pass_formula(self, tmp_path_factory, n, seed,
+                                            host_capacity, device_capacity,
+                                            fanout):
+        """For any (m_h, m_d, k) split the output equals np.sort by key and
+        ``disk_passes == 1 + ⌈log_k R⌉`` — the analytic model agrees."""
+        tmp_path = tmp_path_factory.mktemp("kway")
+        rng = np.random.default_rng(seed)
+        records = make_records(rng.integers(0, 2**62, n, dtype=np.uint64),
+                               np.arange(n, dtype=np.uint32))
+        sorter, gpu, host_pool = _make_sorter(
+            host_capacity=host_capacity,
+            device_capacity=min(device_capacity, host_capacity),
+            merge_fanout=fanout)
+        _write_run(tmp_path / "in", records)
+        report = sorter.sort_file(tmp_path / "in", tmp_path / "out")
+        out = _read_run(tmp_path / "out", records.dtype)
+        assert np.array_equal(out["key"], np.sort(records["key"]))
+        assert sorted(out["val"].tolist()) == sorted(records["val"].tolist())
+        assert report.fanout == fanout
+        if n:
+            assert report.merge_rounds == merge_rounds_for(report.initial_runs,
+                                                           fanout)
+            if report.initial_runs > 1:
+                # 1 + ceil(log_k R), computed away from float-log rounding.
+                log_k = math.log(report.initial_runs) / math.log(fanout)
+                assert report.disk_passes == 1 + math.ceil(round(log_k, 9))
+            else:
+                assert report.disk_passes == 1
+            assert report.disk_passes == predicted_sort_passes(
+                n, sorter.m_h, merge_fanout=fanout)
+        assert gpu.pool.lifetime_peak_bytes <= gpu.pool.capacity_bytes
+        assert host_pool.lifetime_peak_bytes <= host_pool.capacity_bytes
+
+    def test_fanout_cuts_passes_and_disk_bytes(self, tmp_path, rng):
+        """With >= 8 initial runs, k=4 drops ``1+⌈log₂R⌉`` to ``1+⌈log₄R⌉``
+        and the measured disk traffic shrinks with the pass count."""
+        records = make_records(rng.integers(0, 2**62, 60_000, dtype=np.uint64),
+                               np.arange(60_000, dtype=np.uint32))
+        measured = {}
+        for fanout in (2, 4):
+            accountant = IOAccountant()
+            sorter, _, _ = _make_sorter(host_capacity=120_000,
+                                        accountant=accountant,
+                                        merge_fanout=fanout)
+            _write_run(tmp_path / f"in{fanout}", records)
+            before = accountant.total_bytes
+            report = sorter.sort_file(tmp_path / f"in{fanout}",
+                                      tmp_path / f"out{fanout}")
+            measured[fanout] = (report, accountant.total_bytes - before)
+        report2, bytes2 = measured[2]
+        report4, bytes4 = measured[4]
+        runs = report2.initial_runs
+        assert runs >= 8
+        assert report2.disk_passes == 1 + math.ceil(math.log2(runs))
+        assert report4.disk_passes == 1 + math.ceil(math.log(runs, 4))
+        assert report4.disk_passes < report2.disk_passes
+        assert bytes4 < bytes2
+
+    def test_auto_fanout_derived_from_budgets(self, tmp_path, rng):
+        records = make_records(rng.integers(0, 2**62, 10_000, dtype=np.uint64),
+                               np.arange(10_000, dtype=np.uint32))
+        sorter, _, _ = _make_sorter(merge_fanout=0)
+        assert sorter.fanout == derive_fanout(sorter.m_h, sorter.m_d) >= 2
+        _write_run(tmp_path / "in", records)
+        report = sorter.sort_file(tmp_path / "in", tmp_path / "out")
+        assert report.fanout == sorter.fanout
+        out = _read_run(tmp_path / "out", records.dtype)
+        assert np.array_equal(out["key"], np.sort(records["key"]))
+
+    def test_fanout_validated(self):
+        with pytest.raises(ConfigError, match="merge_fanout"):
+            _make_sorter(merge_fanout=1)
+        with pytest.raises(ConfigError, match="merge_fanout"):
+            _make_sorter(merge_fanout=-3)
+
+
+class TestCrashSafety:
+    def test_failing_merge_leaves_no_scratch(self, tmp_path, rng):
+        """An exception mid-merge must tear the .scratch directory down and
+        must not have produced any output file."""
+        records = make_records(rng.integers(0, 2**62, 60_000, dtype=np.uint64),
+                               np.arange(60_000, dtype=np.uint32))
+        sorter, _, _ = _make_sorter(host_capacity=120_000)
+        sorter.merge_windows = lambda parts: (_ for _ in ()).throw(
+            RuntimeError("injected merge failure"))
+        sorter.merge_blocks_in_host = sorter.merge_windows
+        _write_run(tmp_path / "in", records)
+        with pytest.raises(RuntimeError, match="injected"):
+            sorter.sort_file(tmp_path / "in", tmp_path / "out")
+        assert not (tmp_path / "out.scratch").exists()
+        assert not (tmp_path / "out").exists()
+        assert list(tmp_path.glob("*.scratch*")) == []
+
+    def test_failing_run_formation_leaves_no_scratch(self, tmp_path, rng):
+        records = make_records(rng.integers(0, 2**62, 30_000, dtype=np.uint64),
+                               np.arange(30_000, dtype=np.uint32))
+        sorter, _, _ = _make_sorter()
+        calls = {"n": 0}
+        original = sorter.sort_block_in_host
+
+        def fail_second(block):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("injected sort failure")
+            return original(block)
+
+        sorter.sort_block_in_host = fail_second
+        _write_run(tmp_path / "in", records)
+        with pytest.raises(RuntimeError, match="injected"):
+            sorter.sort_file(tmp_path / "in", tmp_path / "out")
+        assert not (tmp_path / "out.scratch").exists()
+        assert not (tmp_path / "out").exists()
+
+    def test_success_is_atomic_and_clean(self, tmp_path, rng):
+        records = make_records(rng.integers(0, 2**62, 5_000, dtype=np.uint64),
+                               np.arange(5_000, dtype=np.uint32))
+        sorter, _, _ = _make_sorter()
+        _write_run(tmp_path / "in", records)
+        sorter.sort_file(tmp_path / "in", tmp_path / "out")
+        assert (tmp_path / "out").exists()
+        assert not (tmp_path / "out.scratch").exists()
 
 
 class TestConfigValidation:

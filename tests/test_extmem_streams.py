@@ -77,6 +77,38 @@ class TestContracts:
         with pytest.raises(StreamProtocolError, match="multiple"):
             RunReader(path, records.dtype)
 
+    def test_failed_reader_open_leaves_no_stale_registration(self, tmp_path,
+                                                             records):
+        """A reader that never got a handle must not poison the path: the
+        next open (either mode) has to succeed, not raise 'already open'."""
+        path = tmp_path / "missing"
+        with pytest.raises(FileNotFoundError):
+            RunReader(path, records.dtype)
+        with RunWriter(path, records.dtype) as writer:  # must not raise
+            writer.append(records)
+        with RunReader(path, records.dtype) as reader:
+            assert reader.total_records == records.shape[0]
+
+    def test_failed_writer_open_leaves_no_stale_registration(self, tmp_path,
+                                                             records):
+        path = tmp_path / "blocked"
+        path.mkdir()  # open(..., "wb") on a directory raises IsADirectoryError
+        with pytest.raises(OSError):
+            RunWriter(path, records.dtype)
+        path.rmdir()
+        with RunWriter(path, records.dtype) as writer:  # must not raise
+            writer.append(records)
+
+    def test_bad_size_reader_leaves_no_stale_registration(self, tmp_path,
+                                                          records):
+        path = tmp_path / "bad"
+        path.write_bytes(b"\x00" * (records.dtype.itemsize + 1))
+        with pytest.raises(StreamProtocolError, match="multiple"):
+            RunReader(path, records.dtype)
+        path.unlink()
+        with RunWriter(path, records.dtype) as writer:
+            writer.append(records)
+
 
 class TestAccounting:
     def test_bytes_and_seeks(self, tmp_path, records):

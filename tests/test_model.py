@@ -137,6 +137,22 @@ class TestFig8:
                  for m_h in (40e6, 160e6, 640e6, 2560e6)]
         assert times == sorted(times, reverse=True)
 
+    def test_fanout_cuts_modeled_time_when_merge_bound(self):
+        """k-way merging removes disk passes, the dominant cost: the model
+        must get faster with fanout whenever R > 2, and agree with the
+        1 + ceil(log_k R) pass structure."""
+        from repro.model.sorting import predicted_sort_passes
+
+        pairwise = model_partition_sort_seconds(40_000_000, 20_000_000)
+        kway = model_partition_sort_seconds(40_000_000, 20_000_000,
+                                            merge_fanout=8)
+        assert kway < pairwise
+        assert predicted_sort_passes(1_000, 256) \
+            > predicted_sort_passes(1_000, 256, merge_fanout=4)
+        # pairwise default reproduces the paper's formula
+        assert predicted_sort_passes(1_000, 2_000) == 1
+        assert predicted_sort_passes(0, 2_000) == 0
+
 
 class TestFig9:
     def test_gpu_ordering(self):

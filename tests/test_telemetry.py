@@ -52,6 +52,61 @@ class TestTelemetry:
             meter.bump(10)
         assert telemetry["map"].peaks["gauge"] == 10
 
+    def test_nested_phase_outer_peak_covers_inner(self):
+        """The outer phase's peak must reflect its whole extent — activity
+        before, during, and after an inner phase (outer peak >= inner)."""
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        with telemetry.phase("outer"):
+            meter.bump(20)   # pre-inner spike: the outer maximum
+            meter.drop(20)
+            with telemetry.phase("inner"):
+                meter.bump(5)
+                meter.drop(5)
+            meter.bump(1)
+            meter.drop(1)
+        assert telemetry["inner"].peaks["gauge"] == 5
+        assert telemetry["outer"].peaks["gauge"] == 20
+        assert telemetry["outer"].peaks["gauge"] \
+            >= telemetry["inner"].peaks["gauge"]
+
+    def test_nested_phase_inner_spike_propagates_outward(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        with telemetry.phase("outer"):
+            meter.bump(3)
+            meter.drop(3)
+            with telemetry.phase("inner"):
+                meter.bump(50)   # inner spike: also the outer maximum
+                meter.drop(50)
+        assert telemetry["inner"].peaks["gauge"] == 50
+        assert telemetry["outer"].peaks["gauge"] == 50
+
+    def test_nested_phase_counters_still_delta(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        with telemetry.phase("outer"):
+            meter.bump(10)
+            with telemetry.phase("inner"):
+                meter.bump(7)
+        assert telemetry["inner"].counters["bytes"] == 7
+        assert telemetry["outer"].counters["bytes"] == 17
+
+    def test_sequential_phases_still_isolated_after_nesting(self):
+        """A later sibling phase must not inherit an earlier phase's peak."""
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        with telemetry.phase("first"):
+            meter.bump(100)
+            meter.drop(100)
+        with telemetry.phase("second"):
+            meter.bump(2)
+        assert telemetry["second"].peaks["gauge"] == 2
+
     def test_same_phase_merges(self):
         telemetry = Telemetry()
         meter = FakeMeter()
