@@ -55,6 +55,42 @@ def exact_overlaps(batch: ReadBatch, min_overlap: int,
     return overlaps
 
 
+def pipeline_order_overlaps(batch: ReadBatch, min_overlap: int, scheme,
+                            ) -> list[tuple[int, int, int]]:
+    """Exact overlaps reordered exactly as the pipeline offers them.
+
+    The reduce phase streams each length partition sorted by fingerprint
+    and canonicalizes ties by vertex id, so within a length the greedy rule
+    sees candidates in ``(fingerprint key, suffix vertex, prefix vertex)``
+    order — not plain vertex order. ``scheme`` must be the run's
+    :class:`~repro.fingerprint.FingerprintScheme` (same lanes and seed), so
+    the oracle and the pipeline agree on the keys.
+    """
+    overlaps = exact_overlaps(batch, min_overlap)
+    read_length = batch.read_length
+    _, suffix_keys = scheme.key_matrices(_oriented_codes(batch))
+    lead = suffix_keys[0]
+
+    def rank(item: tuple[int, int, int]) -> tuple[int, int, int, int]:
+        suffix_vertex, prefix_vertex, l = item
+        return (-l, int(lead[suffix_vertex, read_length - l]),
+                suffix_vertex, prefix_vertex)
+
+    return sorted(overlaps, key=rank)
+
+
+def greedy_graph_pipeline_order(batch: ReadBatch, min_overlap: int, scheme,
+                                ) -> GreedyStringGraph:
+    """Reference greedy graph with candidates in pipeline stream order.
+
+    This is the differential oracle's reference: any pipeline configuration
+    (fanout, block sizes, node count) must produce exactly this graph.
+    """
+    return greedy_graph_from_overlaps(
+        pipeline_order_overlaps(batch, min_overlap, scheme),
+        batch.n_reads, batch.read_length)
+
+
 def greedy_graph_from_overlaps(overlaps: list[tuple[int, int, int]],
                                n_reads: int, read_length: int) -> GreedyStringGraph:
     """Feed an exact overlap list through the same greedy rule.

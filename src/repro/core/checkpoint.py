@@ -23,15 +23,45 @@ import hashlib
 import json
 from dataclasses import asdict
 from pathlib import Path
+from typing import Iterable, Mapping
 
 import numpy as np
 
 from ..config import AssemblyConfig
+from ..faults import plan as faults
 from ..graph import GreedyStringGraph
 from ..graph.bitvector import PackedBitVector
 
 STATE_FILE = "state.json"
 GRAPH_FILE = "graph.npz"
+
+#: Bytes hashed from each end of an artifact for its ledger digest.
+_DIGEST_SPAN = 64 * 1024
+
+
+def file_digest(path: Path) -> str | None:
+    """Cheap content fingerprint of one on-disk artifact.
+
+    Hashes the file's size plus its head and tail ``_DIGEST_SPAN`` bytes —
+    at paper scale (hundreds of GB of run files) a full-content hash per
+    checkpoint would cost another disk pass, while torn writes and
+    truncation always move the size or the tail. Returns ``None`` if the
+    file is missing.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        h = hashlib.sha256()
+        with open(path, "rb") as handle:
+            if size <= 2 * _DIGEST_SPAN:
+                h.update(handle.read())
+            else:
+                h.update(handle.read(_DIGEST_SPAN))
+                handle.seek(size - _DIGEST_SPAN)
+                h.update(handle.read(_DIGEST_SPAN))
+        return f"{size}:{h.hexdigest()[:16]}"
+    except OSError:
+        return None
 
 
 def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
@@ -73,12 +103,37 @@ class CheckpointManager:
         """Whether ``phase`` finished under the current fingerprint."""
         return phase in self._state["completed"]
 
-    def mark(self, phase: str) -> None:
-        """Record ``phase`` as complete (idempotent, durable)."""
+    def _write_state(self) -> None:
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        faults.ledger_write(self.workdir / STATE_FILE, json.dumps(self._state))
+
+    def mark(self, phase: str, artifacts: Iterable[Path] = ()) -> None:
+        """Record ``phase`` as complete (idempotent, durable).
+
+        ``artifacts`` are the on-disk files the phase produced; their
+        digests go into the ledger so a resumed run can tell a finished
+        artifact from a truncated or corrupted one.
+        """
         if phase not in self._state["completed"]:
             self._state["completed"].append(phase)
-        self.workdir.mkdir(parents=True, exist_ok=True)
-        (self.workdir / STATE_FILE).write_text(json.dumps(self._state))
+        digests = {}
+        for path in artifacts:
+            digest = file_digest(Path(path))
+            if digest is not None:
+                digests[str(Path(path).relative_to(self.workdir))] = digest
+        if digests:
+            self._state.setdefault("artifacts", {})[phase] = digests
+        self._write_state()
+
+    def recorded_artifacts(self, phase: str) -> Mapping[str, str]:
+        """The ``{relative path: digest}`` map recorded for ``phase``."""
+        return dict(self._state.get("artifacts", {}).get(phase, {}))
+
+    def artifacts_intact(self, phase: str) -> bool:
+        """Whether every artifact recorded for ``phase`` digests identically."""
+        recorded = self.recorded_artifacts(phase)
+        return all(file_digest(self.workdir / rel) == digest
+                   for rel, digest in recorded.items())
 
     def invalidate_from(self, phase: str) -> None:
         """Drop ``phase`` and everything after it from the ledger."""
@@ -87,7 +142,10 @@ class CheckpointManager:
             keep = order[:order.index(phase)]
             self._state["completed"] = [p for p in self._state["completed"]
                                         if p in keep]
-            (self.workdir / STATE_FILE).write_text(json.dumps(self._state))
+            artifacts = self._state.get("artifacts", {})
+            for dropped in order[order.index(phase):]:
+                artifacts.pop(dropped, None)
+            self._write_state()
 
     # -- graph archival -------------------------------------------------------
 

@@ -12,6 +12,7 @@ from ..device.memory import MemoryPool
 from ..device.specs import DiskSpec, HostSpec
 from ..errors import HostMemoryError
 from ..extmem import IOAccountant
+from ..faults import plan as faults
 from ..fingerprint import FingerprintScheme
 from ..telemetry import Telemetry
 
@@ -46,6 +47,12 @@ class RunContext:
         self.telemetry.register(self.accountant)
         self.telemetry.register(self.gpu.pool)
         self.telemetry.register(self.host_pool)
+        # Under chaos injection, fault events show up as per-phase counters
+        # (faults_injected, fault_ops, …) so benchmarks can report which
+        # phase absorbed the failures and what recovery cost.
+        fault_plan = faults.active_plan()
+        if fault_plan is not None:
+            self.telemetry.register(fault_plan.meter)
 
     def charge_host(self, nbytes_touched: int) -> None:
         """Charge modeled host-side streaming work to the clock."""

@@ -92,33 +92,38 @@ def run_map(ctx: RunContext, store: PackedReadStore,
         for batch_start in range(start, stop, batch_reads):
             yield store.read_slice(batch_start, min(batch_start + batch_reads, stop))
 
-    for batch in batches():
-        n_batches += 1
-        n = batch.n_reads
-        per_read = 2 * read_length * (1 + 8 * 6 * lanes)
-        with ctx.gpu.scratch(n * per_read, label="map-batch"), \
-                ctx.host_pool.alloc(n * per_read, label="map-host-buffers"):
-            for orientation in (0, 1):
-                codes = batch.codes if orientation == 0 else reverse_complement(batch.codes)
-                if orientation == 1:
-                    ctx.gpu.charge_elementwise(codes.nbytes * 2)
-                vertices = (batch.read_ids.astype(np.uint32) << np.uint32(1)) \
-                    | np.uint32(orientation)
-                # One scan launch per hash lane per direction (Figs. 5-6).
-                prefix_keys, suffix_keys = ctx.scheme.key_matrices(codes)
-                for _ in range(2 * 2 * lanes):
-                    ctx.gpu.charge_scan_kernel(n, read_length)
-                for length in lengths:
-                    prefix_records = make_records(
-                        prefix_keys[0][:, length - 1], vertices,
-                        prefix_keys[1][:, length - 1] if lanes == 2 else None)
-                    suffix_records = make_records(
-                        suffix_keys[0][:, read_length - length], vertices,
-                        suffix_keys[1][:, read_length - length] if lanes == 2 else None)
-                    partitions.append("P", length, prefix_records)
-                    partitions.append("S", length, suffix_records)
-                    tuples_written += 2 * n
-                ctx.gpu.charge_elementwise(2 * n * len(lengths) * dtype.itemsize)
-    if not caller_owns_store:
-        partitions.finalize()
+    try:
+        for batch in batches():
+            n_batches += 1
+            n = batch.n_reads
+            per_read = 2 * read_length * (1 + 8 * 6 * lanes)
+            with ctx.gpu.scratch(n * per_read, label="map-batch"), \
+                    ctx.host_pool.alloc(n * per_read, label="map-host-buffers"):
+                for orientation in (0, 1):
+                    codes = batch.codes if orientation == 0 else reverse_complement(batch.codes)
+                    if orientation == 1:
+                        ctx.gpu.charge_elementwise(codes.nbytes * 2)
+                    vertices = (batch.read_ids.astype(np.uint32) << np.uint32(1)) \
+                        | np.uint32(orientation)
+                    # One scan launch per hash lane per direction (Figs. 5-6).
+                    prefix_keys, suffix_keys = ctx.scheme.key_matrices(codes)
+                    for _ in range(2 * 2 * lanes):
+                        ctx.gpu.charge_scan_kernel(n, read_length)
+                    for length in lengths:
+                        prefix_records = make_records(
+                            prefix_keys[0][:, length - 1], vertices,
+                            prefix_keys[1][:, length - 1] if lanes == 2 else None)
+                        suffix_records = make_records(
+                            suffix_keys[0][:, read_length - length], vertices,
+                            suffix_keys[1][:, read_length - length] if lanes == 2 else None)
+                        partitions.append("P", length, prefix_records)
+                        partitions.append("S", length, suffix_records)
+                        tuples_written += 2 * n
+                    ctx.gpu.charge_elementwise(2 * n * len(lengths) * dtype.itemsize)
+    finally:
+        # Even on an injected crash the writers must close: the in-process
+        # crash loop re-runs the pipeline, and a stale _OPEN_PATHS entry
+        # would wrongly reject the recovery run's writers.
+        if not caller_owns_store:
+            partitions.finalize()
     return partitions, MapReport(stop - start, n_batches, tuples_written, lengths)

@@ -17,12 +17,14 @@ from pathlib import Path
 
 from ..config import AssemblyConfig
 from ..device.specs import DiskSpec, HostSpec
-from ..errors import ConfigError
+from ..errors import ConfigError, DatasetError
 from ..extmem import PartitionStore
 from ..extmem.records import kv_dtype
+from ..faults import plan as faults
 from ..graph import GreedyStringGraph
 from ..seq.packing import PackedReadStore
-from .checkpoint import CheckpointManager, config_fingerprint
+from .checkpoint import (GRAPH_FILE, CheckpointManager, config_fingerprint,
+                         file_digest)
 from .compress_phase import run_compress
 from .context import RunContext
 from .load_phase import run_load
@@ -85,18 +87,28 @@ class Assembler:
              gfa_path=None) -> AssemblyResult:
         if manager is not None:
             self._validate_checkpoints(ctx, manager)
+        faults.note_phase("load")
         with ctx.telemetry.phase("load"):
             store = self._load(ctx, source, manager)
         try:
+            faults.barrier(faults.PHASE, "load")
+            faults.note_phase("map")
             with ctx.telemetry.phase("map"):
                 partitions, map_report = self._map(ctx, store, manager)
+            faults.barrier(faults.PHASE, "map")
+            faults.note_phase("sort")
             with ctx.telemetry.phase("sort"):
                 sort_report = self._sort(ctx, partitions, manager)
+            faults.barrier(faults.PHASE, "sort")
+            faults.note_phase("reduce")
             with ctx.telemetry.phase("reduce"):
                 graph, reduce_report = self._reduce(ctx, partitions, store, manager)
+            faults.barrier(faults.PHASE, "reduce")
+            faults.note_phase("compress")
             with ctx.telemetry.phase("compress"):
                 contigs, paths = run_compress(ctx, graph, store,
                                               release_graph=gfa_path is None)
+            faults.barrier(faults.PHASE, "compress")
             if gfa_path is not None:
                 from ..graph.gfa import write_gfa
 
@@ -130,27 +142,66 @@ class Assembler:
         partitions = PartitionStore(ctx.workdir / "partitions", dtype, None)
         saved_map = manager._state.get("map_report")
         lengths = saved_map["lengths"] if saved_map else []
+        if manager.completed("load") and not manager.artifacts_intact("load"):
+            manager.invalidate_from("load")
         if manager.completed("sort"):
+            # Digest-damaged sorted runs must also be *removed* — the sort
+            # rerun trusts any sorted file it finds on disk.
+            damaged = [rel for rel, digest
+                       in manager.recorded_artifacts("sort").items()
+                       if file_digest(ctx.workdir / rel) != digest]
+            for rel in damaged:
+                (ctx.workdir / rel).unlink(missing_ok=True)
             sorted_complete = all(
                 partitions.path(side, length, sorted_run=True).exists()
                 for length in lengths for side in ("S", "P"))
-            if not sorted_complete:
+            if not sorted_complete or damaged:
                 manager.invalidate_from("sort")
         if manager.completed("map") and not manager.completed("sort"):
-            inputs_available = all(
-                partitions.path(side, length).exists()
-                or partitions.path(side, length, sorted_run=True).exists()
-                for length in lengths for side in ("S", "P"))
+            # A partition is usable if its sorted run already exists, or if
+            # the unsorted input survives *undamaged* — a torn unsorted run
+            # would silently sort to a wrong (smaller) partition.
+            recorded = manager.recorded_artifacts("map")
+            inputs_available = True
+            for length in lengths:
+                for side in ("S", "P"):
+                    if partitions.path(side, length, sorted_run=True).exists():
+                        continue
+                    unsorted = partitions.path(side, length)
+                    if not unsorted.exists():
+                        inputs_available = False
+                        break
+                    rel = str(unsorted.relative_to(ctx.workdir))
+                    if rel in recorded and file_digest(unsorted) != recorded[rel]:
+                        inputs_available = False
+                        break
+                if not inputs_available:
+                    break
             if not inputs_available:
                 manager.invalidate_from("map")
+        if manager.completed("reduce") and not manager.artifacts_intact("reduce"):
+            (ctx.workdir / GRAPH_FILE).unlink(missing_ok=True)
+            manager.invalidate_from("reduce")
 
     def _load(self, ctx: RunContext, source, manager) -> PackedReadStore:
         store_path = ctx.workdir / "reads.lsgr"
         if manager is not None and manager.completed("load") and store_path.exists():
-            return PackedReadStore.open(store_path, ctx.accountant)
+            # A store that opens but holds zero reads lost its header patch
+            # (the load commit point) — run_load never returns an empty
+            # store, so treat it as corrupt and reload.
+            store = None
+            try:
+                store = PackedReadStore.open(store_path, ctx.accountant)
+            except DatasetError:
+                pass
+            if store is not None and store.n_reads > 0:
+                return store
+            if store is not None:
+                store.close()
+            manager.invalidate_from("load")
         store = run_load(ctx, source)
         if manager is not None:
-            manager.mark("load")
+            manager.mark("load", [store_path])
         return store
 
     def _map(self, ctx: RunContext, store: PackedReadStore, manager,
@@ -171,7 +222,9 @@ class Assembler:
                 "tuples_written": report.tuples_written,
                 "lengths": list(report.lengths),
             }
-            manager.mark("map")
+            manager.mark("map", [partitions.path(side, length)
+                                 for length in report.lengths
+                                 for side in ("S", "P")])
         return partitions, report
 
     def _sort(self, ctx: RunContext, partitions: PartitionStore, manager,
@@ -191,11 +244,16 @@ class Assembler:
             manager.invalidate_from("sort")
         report = run_sort(ctx, partitions)
         if manager is not None:
+            # All four SortReport fields must round-trip: dropping fanout
+            # would resurrect the default (2) on resume and silently change
+            # both the report and the fingerprint-relevant sort shape.
             manager._state["sort_report"] = {
-                f"{side}:{length}": [r.n_records, r.initial_runs, r.merge_rounds]
+                f"{side}:{length}": [r.n_records, r.initial_runs,
+                                     r.merge_rounds, r.fanout]
                 for (side, length), r in report.reports.items()
             }
-            manager.mark("sort")
+            manager.mark("sort", [partitions.path(side, length, sorted_run=True)
+                                  for (side, length) in report.reports])
         return report
 
     def _reduce(self, ctx: RunContext, partitions: PartitionStore,
@@ -216,5 +274,5 @@ class Assembler:
         if manager is not None:
             manager.save_graph(graph)
             manager._state["reduce_report"] = asdict(report)
-            manager.mark("reduce")
+            manager.mark("reduce", [ctx.workdir / GRAPH_FILE])
         return graph, report

@@ -43,15 +43,24 @@ def make_sorter(ctx: RunContext, dtype) -> ExternalSorter:
 
 
 def run_sort(ctx: RunContext, partitions: PartitionStore) -> SortPhaseReport:
-    """Sort every S/P partition in place; returns per-partition reports."""
+    """Sort every S/P partition in place; returns per-partition reports.
+
+    A resumed run may find some partitions already sorted (their unsorted
+    input consumed by the interrupted attempt); their reports are
+    reconstructed from the sorted record count so the phase report is
+    identical to an uninterrupted run's.
+    """
     sorter = make_sorter(ctx, partitions.dtype)
     reports: dict[tuple[str, int], SortReport] = {}
     for length in partitions.lengths():
         for side in ("S", "P"):
             unsorted_path = partitions.path(side, length)
-            if not unsorted_path.exists():
-                continue
             sorted_path = partitions.path(side, length, sorted_run=True)
+            if not unsorted_path.exists():
+                if sorted_path.exists():
+                    reports[(side, length)] = sorter.report_for(
+                        partitions.records_in(side, length, sorted_run=True))
+                continue
             reports[(side, length)] = sorter.sort_file(unsorted_path, sorted_path)
             partitions.delete(side, length)
     return SortPhaseReport(reports)

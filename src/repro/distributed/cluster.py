@@ -33,8 +33,9 @@ from ..core.map_phase import overlap_lengths
 from ..core.reduce_phase import (REDUCE_WINDOW_DIVISOR, ReduceReport,
                                  reduce_partition)
 from ..device.specs import DiskSpec, HostSpec
-from ..errors import ConfigError
+from ..errors import ConfigError, DistributedProtocolError, FaultInjected
 from ..extmem import RunReader
+from ..faults import plan as faults
 from ..graph import GreedyStringGraph
 from ..graph.contigs import ContigSet
 from ..seq.packing import PackedReadStore
@@ -61,6 +62,9 @@ class DistributedResult:
     reduce_report: ReduceReport
     edges: int
     notes: dict[str, float] = field(default_factory=dict)
+    #: Bit-vector token hand-offs: one entry per reduce attempt, recording
+    #: which node held the token for which partition and whether it survived.
+    token_trace: tuple[dict, ...] = ()
 
     @property
     def total_seconds(self) -> float:
@@ -163,7 +167,8 @@ class DistributedAssembler:
 
         # -- reduce: parallel overlap finding, token-serialized edges ------------
         reduce_result = self._reduce(nodes, store, lengths, owner_of)
-        graph, reduce_report, reduce_time, reduce_per_node = reduce_result
+        graph, reduce_report, reduce_time, reduce_per_node, token_trace = \
+            reduce_result
         phase_seconds["reduce"] = reduce_time
         per_node_seconds["reduce"] = reduce_per_node
         self._barrier(nodes)
@@ -188,6 +193,7 @@ class DistributedAssembler:
             reduce_report=reduce_report,
             edges=edges,
             notes={"am_messages": float(messages.messages_sent)},
+            token_trace=token_trace,
         )
         if not isinstance(source, PackedReadStore):
             store.close()
@@ -195,18 +201,27 @@ class DistributedAssembler:
 
     def _reduce(self, nodes: list[WorkerNode], store: PackedReadStore,
                 lengths: list[int], owner_of: dict[int, int],
-                ) -> tuple[GreedyStringGraph, ReduceReport, float, list[float]]:
+                ) -> tuple[GreedyStringGraph, ReduceReport, float, list[float],
+                           tuple[dict, ...]]:
         """Token-serialized distributed reduce.
 
         Overlap finding for partition ``l`` happens on its owner and is
         charged to that node's clock; the greedy edge insertion must hold
         the bit-vector token, whose timeline is tracked explicitly:
         ``token_time = max(token_time + transfer, find_done) + t_graph``.
+
+        A node failing mid-partition (an injected :class:`FaultInjected`)
+        does not lose the token: the master still holds it and replays the
+        partition once — duplicate candidate re-submissions are rejected by
+        the bit-vector, so the edge set is unchanged. A second failure on
+        the same partition raises :class:`DistributedProtocolError` rather
+        than dropping the partition silently.
         """
         master = nodes[0]
         graph = GreedyStringGraph(store.n_reads, store.read_length,
                                   master.ctx.host_pool)
         report = ReduceReport()
+        token_trace: list[dict] = []
         before = self._clock_totals(nodes)
         phase_start = max(before)
         token_time = phase_start
@@ -219,17 +234,34 @@ class DistributedAssembler:
                 continue
             _, m_d = node.ctx.config.resolved_blocks(node.dtype.itemsize)
             window = max(1, m_d // REDUCE_WINDOW_DIVISOR)
-            host_before = node.ctx.clock.seconds("host")
-            with RunReader(s_path, node.dtype, node.ctx.accountant) as suffixes, \
-                    RunReader(p_path, node.dtype, node.ctx.accountant) as prefixes:
-                reduce_partition(node.ctx, graph, suffixes, prefixes, length,
-                                 window, report)
-            report.partitions_processed += 1
-            t_graph = node.ctx.clock.seconds("host") - host_before
-            find_done = node.ctx.clock.total_seconds - t_graph
-            token_time = max(token_time + bitvec_transfer, find_done) + t_graph
+            for attempt in (0, 1):
+                host_before = node.ctx.clock.seconds("host")
+                try:
+                    with RunReader(s_path, node.dtype,
+                                   node.ctx.accountant) as suffixes, \
+                            RunReader(p_path, node.dtype,
+                                      node.ctx.accountant) as prefixes:
+                        reduce_partition(node.ctx, graph, suffixes, prefixes,
+                                         length, window, report)
+                except FaultInjected as exc:
+                    faults.clear_crash()
+                    token_trace.append({"length": length, "node": node.node_id,
+                                        "attempt": attempt, "ok": False})
+                    if attempt:
+                        raise DistributedProtocolError(
+                            f"reduce token lost: node {node.node_id} failed "
+                            f"twice on partition {length}") from exc
+                    continue
+                token_trace.append({"length": length, "node": node.node_id,
+                                    "attempt": attempt, "ok": True})
+                report.partitions_processed += 1
+                t_graph = node.ctx.clock.seconds("host") - host_before
+                find_done = node.ctx.clock.total_seconds - t_graph
+                token_time = max(token_time + bitvec_transfer, find_done) + t_graph
+                break
         report.edges_added = graph.n_edges
         reduce_time = token_time - phase_start
         per_node = [node.ctx.clock.total_seconds - b
                     for node, b in zip(nodes, before)]
-        return graph, report, max(reduce_time, max(per_node)), per_node
+        return (graph, report, max(reduce_time, max(per_node)), per_node,
+                tuple(token_trace))

@@ -51,3 +51,24 @@ class DatasetError(ReproError):
 
 class DistributedProtocolError(ReproError):
     """A node violated the distributed pipeline's message protocol."""
+
+
+class FaultInjected(ReproError):
+    """A scheduled chaos fault fired (simulated crash, torn write, …).
+
+    Raised only while a :class:`repro.faults.FaultPlan` is active; it models
+    the process dying at an exact byte boundary, so production code must
+    never catch it except where a real deployment would survive the
+    corresponding failure (e.g. the distributed reduce retrying a dead
+    node's partition).
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery failed to converge to the golden run.
+
+    Raised by the :class:`repro.faults.CrashLoop` driver when a resumed run
+    diverges from the unfaulted golden result or leaves scratch/ledger
+    residue behind — the exact failure the checkpointed multi-pass design
+    exists to prevent.
+    """

@@ -32,7 +32,7 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SortContractError
 from .records import KEY_FIELD
 
 MergeFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -116,6 +116,16 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
             if bufs[i].shape[0] < window_records:
                 extra = sources[i].read(window_records - bufs[i].shape[0])
                 if extra.shape[0]:
+                    # Sortedness contract check: a corrupted run (e.g. a
+                    # bit-flipped key) must fail loudly here, not merge into
+                    # silently mis-sorted output downstream.
+                    keys = extra[key_field]
+                    if np.any(keys[1:] < keys[:-1]) or (
+                            bufs[i].shape[0]
+                            and bufs[i][key_field][-1] > keys[0]):
+                        raise SortContractError(
+                            f"merge input {i} violates sortedness on "
+                            f"{key_field!r}")
                     bufs[i] = (extra if bufs[i].shape[0] == 0
                                else np.concatenate([bufs[i], extra]))
             if bufs[i].shape[0] == 0:

@@ -33,6 +33,7 @@ class PartitionStore:
         self.accountant = accountant
         self.root.mkdir(parents=True, exist_ok=True)
         self._writers: dict[tuple[str, int], RunWriter] = {}
+        self._finalized = False
 
     # -- paths ------------------------------------------------------------
 
@@ -47,6 +48,11 @@ class PartitionStore:
 
     def append(self, side: str, length: int, records: np.ndarray) -> None:
         """Append records to partition ``(side, length)``."""
+        if self._finalized:
+            # A late append would silently truncate the partition (RunWriter
+            # opens "wb") and corrupt the sorted phase's input.
+            raise StreamProtocolError(
+                f"{self.root}: append to ({side}, {length}) after finalize()")
         key = (side, length)
         writer = self._writers.get(key)
         if writer is None:
@@ -59,6 +65,7 @@ class PartitionStore:
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
+        self._finalized = True
 
     def __enter__(self) -> "PartitionStore":
         return self

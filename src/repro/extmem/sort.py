@@ -39,6 +39,7 @@ import numpy as np
 from ..device.gpu import VirtualGPU
 from ..device.memory import MemoryPool
 from ..errors import ConfigError
+from ..faults import plan as faults
 from .io_stats import IOAccountant
 from .merge import merge_in_memory_k, merge_streams_k
 from .records import KEY_FIELD
@@ -224,6 +225,18 @@ class ExternalSorter:
 
     # -- level 1: disk-backed run sorting ---------------------------------------
 
+    def report_for(self, n_records: int) -> SortReport:
+        """The :class:`SortReport` this sorter would produce for ``n_records``.
+
+        Lets a resumed run reconstruct the report of a partition whose
+        sorted file already exists (the unsorted input was consumed), so a
+        recovered pipeline returns byte-identical reports.
+        """
+        initial_runs = math.ceil(n_records / self.host_block) if n_records else 0
+        return SortReport(n_records, initial_runs,
+                          merge_rounds_for(initial_runs, self.fanout),
+                          self.fanout)
+
     def sort_file(self, in_path: str | Path, out_path: str | Path) -> SortReport:
         """Sort a run file into ``out_path``; returns the :class:`SortReport`.
 
@@ -236,7 +249,9 @@ class ExternalSorter:
         try:
             return self._sort_into(in_path, out_path, scratch_dir)
         finally:
-            if scratch_dir.exists():
+            # A real crash never runs cleanup: when an injected crash is
+            # unwinding, leave the scratch residue for recovery to face.
+            if scratch_dir.exists() and not faults.crash_pending():
                 for stray in scratch_dir.iterdir():
                     stray.unlink()
                 scratch_dir.rmdir()
@@ -265,6 +280,7 @@ class ExternalSorter:
         if initial_runs == 0:
             empty_path = scratch_dir / "empty.run"
             empty_path.write_bytes(b"")
+            faults.barrier(faults.RENAME, str(out_path))
             empty_path.replace(out_path)
             return SortReport(0, 0, 0, self.fanout)
 
@@ -305,5 +321,6 @@ class ExternalSorter:
             run_paths = next_paths
             generation += 1
 
+        faults.barrier(faults.RENAME, str(out_path))
         run_paths[0].replace(out_path)
         return SortReport(n_records, initial_runs, merge_rounds, self.fanout)

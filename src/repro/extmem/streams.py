@@ -15,6 +15,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import StreamProtocolError
+from ..faults import plan as faults
 from .io_stats import IOAccountant
 
 #: Paths currently open, mapped to their mode ("r"/"w"); enforces exclusivity.
@@ -72,7 +73,7 @@ class RunWriter:
             raise StreamProtocolError(
                 f"{self.path}: dtype mismatch ({records.dtype} != {self.dtype})")
         data = np.ascontiguousarray(records)
-        self._handle.write(data.tobytes())
+        faults.deliver_write(self.path, data.tobytes(), self._handle)
         if self._accountant is not None:
             self._accountant.add_write(data.nbytes, seeks=self._pending_seek)
         self._pending_seek = 0
@@ -140,7 +141,7 @@ class RunReader:
         n = min(n, self.remaining)
         if n <= 0:
             return np.empty(0, dtype=self.dtype)
-        raw = self._handle.read(n * self.dtype.itemsize)
+        raw = faults.filter_read(self.path, self._handle.read(n * self.dtype.itemsize))
         if self._accountant is not None:
             self._accountant.add_read(len(raw), seeks=self._pending_seek)
         self._pending_seek = 0

@@ -1,0 +1,278 @@
+"""The crash-recovery loop: kill the pipeline everywhere, demand the genome.
+
+A 16-hour semi-streaming run that resumes *almost* correctly produces a
+wrong genome, not an error — so recovery is only trustworthy if it is
+checked against a byte-level oracle at every interruption point. The
+:class:`CrashLoop` driver does exactly that:
+
+1. run one unfaulted **golden** assembly and digest its result,
+2. run one instrumented **probe** (an empty :class:`~repro.faults.FaultPlan`)
+   to enumerate every injectable operation and the phase it falls in,
+3. for a spread of points across all five phases, run the pipeline with a
+   scheduled kill at that exact operation, then resume with
+   ``Assembler.assemble(resume=True)`` and assert the recovered
+   :class:`~repro.core.results.AssemblyResult` digests identically to the
+   golden run, the checkpoint ledger converged, and no scratch residue
+   survived.
+
+:func:`result_digest` hashes every deterministic field of a result —
+contigs, paths, and the map/sort/reduce reports — and deliberately excludes
+telemetry (wall/simulated times differ between a fresh and a resumed run by
+construction).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..config import AssemblyConfig
+from ..core.checkpoint import STATE_FILE
+from ..core.pipeline import PHASES, Assembler
+from ..core.results import AssemblyResult
+from ..errors import FaultInjected, RecoveryError
+from .plan import (BITFLIP, CRASH, ENOSPC, FSYNC_LOSS, LEDGER, PHASE, READ,
+                   RENAME, TORN, WRITE, _SITE_KINDS, Fault, FaultPlan,
+                   TracePoint, inject)
+
+#: All phases a checkpointed run must have persisted after full recovery
+#: (compress is always re-run, so it is never in the ledger).
+_LEDGER_PHASES = frozenset(PHASES) - {"compress"}
+
+
+def result_digest(result: AssemblyResult) -> str:
+    """Canonical digest of every deterministic field of a result.
+
+    Two runs of the same configuration over the same input — fresh,
+    resumed, or recovered from any crash point — must produce equal
+    digests. Telemetry is excluded: timings are nondeterministic and a
+    resumed run legitimately skips work.
+    """
+    h = hashlib.sha256()
+
+    def put(tag: str, payload: bytes) -> None:
+        h.update(tag.encode())
+        h.update(len(payload).to_bytes(8, "little"))
+        h.update(payload)
+
+    put("config", json.dumps(asdict(result.config), sort_keys=True,
+                             default=str).encode())
+    put("shape", f"{result.n_reads}:{result.read_length}:{result.n_paths}".encode())
+    put("contig_codes", result.contigs.flat_codes.tobytes())
+    put("contig_offsets", result.contigs.offsets.tobytes())
+    if result.paths is not None:
+        put("path_offsets", result.paths.path_offsets.tobytes())
+        put("path_vertices", result.paths.vertices.tobytes())
+        put("path_overhangs", result.paths.overhangs.tobytes())
+    put("map", json.dumps(asdict(result.map_report), sort_keys=True).encode())
+    sort_rows = sorted(
+        (side, length, r.n_records, r.initial_runs, r.merge_rounds, r.fanout)
+        for (side, length), r in result.sort_report.reports.items())
+    put("sort", json.dumps(sort_rows).encode())
+    put("reduce", json.dumps(asdict(result.reduce_report), sort_keys=True).encode())
+    return h.hexdigest()
+
+
+def scan_residue(workdir: Path) -> list[str]:
+    """Scratch/ledger residue a finished run must not leave behind.
+
+    Residue is anything recovery should have consumed or torn down:
+    ``*.scratch`` merge directories (and their contents) and unsorted
+    partition files whose sorted counterpart exists.
+    """
+    workdir = Path(workdir)
+    residue: list[str] = []
+    for path in sorted(workdir.rglob("*.scratch")):
+        residue.append(str(path.relative_to(workdir)))
+    for sorted_run in sorted(workdir.rglob("*.sorted.run")):
+        unsorted = sorted_run.with_name(
+            sorted_run.name.replace(".sorted.run", ".run"))
+        if unsorted.exists():
+            residue.append(str(unsorted.relative_to(workdir)))
+    return residue
+
+
+@dataclass(frozen=True)
+class CrashOutcome:
+    """What happened at one injected crash point."""
+
+    point: TracePoint
+    kind: str
+    crashed: bool
+    digest_match: bool
+    ledger_converged: bool
+    residue: tuple[str, ...]
+    crash_seconds: float
+    resume_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether recovery at this point fully converged."""
+        return (self.crashed and self.digest_match and self.ledger_converged
+                and not self.residue)
+
+
+@dataclass
+class CrashLoopReport:
+    """Aggregate of one full crash-loop sweep."""
+
+    golden_digest: str
+    golden_seconds: float
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> int:
+        """Distinct injected crash points exercised."""
+        return len(self.outcomes)
+
+    @property
+    def phases_covered(self) -> set[str]:
+        """Pipeline phases that absorbed at least one injected crash."""
+        return {o.point.phase for o in self.outcomes if o.point.phase}
+
+    @property
+    def failures(self) -> list[CrashOutcome]:
+        """Points where recovery did not fully converge."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def mean_recovery_overhead(self) -> float:
+        """Mean resume time relative to the golden run's (recovery cost)."""
+        if not self.outcomes or self.golden_seconds <= 0:
+            return 0.0
+        resumes = [o.resume_seconds for o in self.outcomes]
+        return (sum(resumes) / len(resumes)) / self.golden_seconds
+
+    def require_clean(self) -> None:
+        """Raise :class:`RecoveryError` unless every point recovered."""
+        if self.failures:
+            lines = [
+                f"  op {o.point.op} [{o.kind} @ {o.point.site}:{o.point.path}] "
+                f"phase={o.point.phase} crashed={o.crashed} "
+                f"match={o.digest_match} ledger={o.ledger_converged} "
+                f"residue={list(o.residue)}"
+                for o in self.failures]
+            raise RecoveryError(
+                f"{len(self.failures)}/{self.points_tested} crash points "
+                "failed to recover:\n" + "\n".join(lines))
+
+    def summary(self) -> str:
+        """One-paragraph human-readable sweep summary."""
+        return (f"crash loop: {self.points_tested} points across "
+                f"{sorted(self.phases_covered)}; {len(self.failures)} failures; "
+                f"mean recovery overhead {self.mean_recovery_overhead:.2f}x "
+                f"of golden ({self.golden_seconds:.3f}s)")
+
+
+class CrashLoop:
+    """Repeatedly kill ``Assembler.assemble(resume=True)`` and verify recovery.
+
+    ``points_per_phase`` crash points are spread evenly over each phase's
+    instrumented operations; fault kinds rotate deterministically from
+    ``seed`` over the kinds valid at each site, so one seed exercises
+    plain crashes, torn writes, lost writes, and disk-full failures.
+    """
+
+    def __init__(self, config: AssemblyConfig, source, root: str | Path, *,
+                 points_per_phase: int = 6,
+                 kinds: tuple[str, ...] = (CRASH, TORN, FSYNC_LOSS, ENOSPC),
+                 sites: tuple[str, ...] = (WRITE, READ, LEDGER, RENAME, PHASE),
+                 seed: int = 0):
+        if BITFLIP in kinds:
+            raise RecoveryError(
+                "bitflip is silent corruption, not a crash; test it against "
+                "the differential oracle instead of the crash loop")
+        self.config = config
+        self.source = source
+        self.root = Path(root)
+        self.points_per_phase = points_per_phase
+        self.kinds = kinds
+        self.sites = sites
+        self.seed = seed
+
+    # -- the three kinds of run ----------------------------------------------
+
+    def _assemble(self, workdir: Path) -> AssemblyResult:
+        return Assembler(self.config).assemble(self.source, workdir=workdir,
+                                               resume=True)
+
+    def golden(self) -> tuple[AssemblyResult, float]:
+        """The unfaulted reference run (fresh workdir)."""
+        start = time.perf_counter()
+        result = self._assemble(self.root / "golden")
+        return result, time.perf_counter() - start
+
+    def probe(self) -> list[TracePoint]:
+        """Enumerate every injectable operation with an empty plan."""
+        plan = FaultPlan(seed=self.seed)
+        with inject(plan):
+            self._assemble(self.root / "probe")
+        return plan.trace
+
+    # -- point selection -------------------------------------------------------
+
+    def select_points(self, trace: list[TracePoint]) -> list[tuple[TracePoint, str]]:
+        """Spread points over phases, rotating fault kinds per site."""
+        by_phase: dict[str | None, list[TracePoint]] = {}
+        for point in trace:
+            if point.site in self.sites:
+                by_phase.setdefault(point.phase, []).append(point)
+        chosen: list[tuple[TracePoint, str]] = []
+        for phase in sorted(by_phase, key=lambda p: p or ""):
+            candidates = by_phase[phase]
+            want = min(self.points_per_phase, len(candidates))
+            stride = len(candidates) / want
+            picked = {int(i * stride) for i in range(want)}
+            for j, index in enumerate(sorted(picked)):
+                point = candidates[index]
+                valid = [k for k in self.kinds if k in _SITE_KINDS[point.site]]
+                kind = valid[(self.seed + j) % len(valid)] if valid else CRASH
+                chosen.append((point, kind))
+        return chosen
+
+    # -- the loop ---------------------------------------------------------------
+
+    def run(self) -> CrashLoopReport:
+        """Golden → probe → kill at every selected point → verify recovery."""
+        golden_result, golden_seconds = self.golden()
+        report = CrashLoopReport(result_digest(golden_result), golden_seconds)
+        points = self.select_points(self.probe())
+        for index, (point, kind) in enumerate(points):
+            workdir = self.root / f"crash_{index:03d}"
+            plan = FaultPlan([Fault(kind, site=point.site, at_op=point.op)],
+                             seed=self.seed)
+            crashed = False
+            start = time.perf_counter()
+            with inject(plan):
+                try:
+                    self._assemble(workdir)
+                except FaultInjected:
+                    crashed = True
+                except OSError as exc:
+                    if exc.errno != errno.ENOSPC:
+                        raise
+                    crashed = True
+            crash_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            resumed = self._assemble(workdir)
+            resume_seconds = time.perf_counter() - start
+            report.outcomes.append(CrashOutcome(
+                point=point, kind=kind, crashed=crashed,
+                digest_match=result_digest(resumed) == report.golden_digest,
+                ledger_converged=self._ledger_converged(workdir),
+                residue=tuple(scan_residue(workdir)),
+                crash_seconds=crash_seconds, resume_seconds=resume_seconds))
+        return report
+
+    @staticmethod
+    def _ledger_converged(workdir: Path) -> bool:
+        state_path = workdir / STATE_FILE
+        try:
+            state = json.loads(state_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return set(state.get("completed", [])) == _LEDGER_PHASES

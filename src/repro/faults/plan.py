@@ -1,0 +1,413 @@
+"""Deterministic chaos-I/O fault plans and the substrate hooks they drive.
+
+The extmem stream/file substrate (:class:`~repro.extmem.streams.RunWriter` /
+:class:`~repro.extmem.streams.RunReader`, the packed read store, the
+checkpoint ledger, ``sort_file``'s atomic rename) routes every byte through
+the module-level hooks below. With no plan active the hooks are
+pass-throughs costing one global load; under :func:`inject` every hook
+visit increments a global *operation counter* and is matched against the
+plan's scheduled :class:`Fault` list, so a crash can be replayed at any
+exact byte boundary of any run:
+
+* ``crash``      — die before the operation (the write never happens),
+* ``torn``       — write a prefix of the payload, then die,
+* ``enospc``     — the device is full: a survivable ``OSError`` (ENOSPC),
+* ``fsync-loss`` — the write is acknowledged but silently dropped (lost
+  page-cache data); the process dies ``delay`` operations later,
+* ``bitflip``    — one payload bit is corrupted in flight; execution
+  continues (silent corruption — the hardest failure to survive).
+
+Plans are values: the same seed and schedule reproduce the same faults at
+the same operations, which is what lets a failed chaos seed from CI be
+replayed locally. Every injected event is recorded on the plan and exposed
+through a :class:`~repro.telemetry.EventMeter`, so per-phase telemetry
+reports how many faults each phase absorbed.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterator, Sequence
+
+from ..errors import ConfigError, FaultInjected
+from ..telemetry import EventMeter
+
+# -- fault kinds ---------------------------------------------------------------
+
+CRASH = "crash"
+TORN = "torn"
+ENOSPC = "enospc"
+FSYNC_LOSS = "fsync-loss"
+BITFLIP = "bitflip"
+KINDS = (CRASH, TORN, ENOSPC, FSYNC_LOSS, BITFLIP)
+
+# -- hook sites ---------------------------------------------------------------
+
+WRITE = "write"    #: RunWriter.append / PackedReadStore writes
+READ = "read"      #: RunReader.read / PackedReadStore reads
+LEDGER = "ledger"  #: checkpoint state.json writes
+RENAME = "rename"  #: sort_file's atomic publish of a finished run
+PHASE = "phase"    #: pipeline phase boundaries (label = phase name)
+SITES = (WRITE, READ, LEDGER, RENAME, PHASE)
+
+#: Fault kinds that make sense per site (seeded plans draw from these).
+_SITE_KINDS = {
+    WRITE: (CRASH, TORN, ENOSPC, FSYNC_LOSS, BITFLIP),
+    READ: (CRASH, BITFLIP),
+    LEDGER: (CRASH, TORN, FSYNC_LOSS),
+    RENAME: (CRASH,),
+    PHASE: (CRASH,),
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled failure.
+
+    ``at_op`` pins the fault to the N-th hook visit of the run (the global
+    operation counter), making crash-at-byte-N schedules exact and
+    replayable; ``None`` fires at the first visit whose site and path name
+    match. ``offset`` selects the payload byte for ``torn``/``bitflip``
+    (``None`` = middle of the payload). ``once`` faults disarm after
+    firing — a retry then succeeds; persistent faults model a dead node.
+    """
+
+    kind: str
+    site: str = "*"
+    match: str = "*"
+    at_op: int | None = None
+    offset: int | None = None
+    delay: int = 1
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; options: {KINDS}")
+        if self.site != "*" and self.site not in SITES:
+            raise ConfigError(f"unknown fault site {self.site!r}; options: {SITES}")
+
+    def triggers(self, op: int, site: str, name: str) -> bool:
+        """Whether this fault fires at hook visit ``op`` of ``site``/``name``."""
+        if self.site not in ("*", site):
+            return False
+        if self.at_op is not None and op != self.at_op:
+            return False
+        return fnmatch.fnmatch(name, self.match)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    op: int
+    kind: str
+    site: str
+    path: str
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One instrumented operation observed by an active plan."""
+
+    op: int
+    site: str
+    path: str
+    phase: str | None
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injectable failures.
+
+    A plan with an empty fault list is a pure *probe*: it records the trace
+    of every instrumented operation (and which pipeline phase it fell in),
+    which is how :class:`~repro.faults.crashloop.CrashLoop` enumerates the
+    distinct crash points of a workload before killing it at each one.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = (), *, seed: int = 0):
+        self.seed = seed
+        self._pending = list(faults)
+        self.events: list[FaultEvent] = []
+        self.trace: list[TracePoint] = []
+        self.crashed = False
+        self.meter = EventMeter()
+        self._op = 0
+        self._phase: str | None = None
+        self._armed_crash_op: int | None = None
+        #: Acknowledged-but-unsynced writes: (path, offset|None, original).
+        #: ``offset=None`` marks a whole-file write; ``original=None`` means
+        #: the file did not exist before it. Reverted when the crash fires.
+        self._lost_writes: list[tuple[Path, int | None, bytes | None]] = []
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def crash_at(cls, op: int, *, site: str = "*", match: str = "*") -> "FaultPlan":
+        """A plan that dies at exactly the ``op``-th instrumented operation."""
+        return cls([Fault(CRASH, site=site, match=match, at_op=op)], seed=op)
+
+    @classmethod
+    def seeded(cls, seed: int, n_ops: int, *,
+               kinds: Sequence[str] = (CRASH, TORN, FSYNC_LOSS),
+               site: str = "*") -> "FaultPlan":
+        """Draw one fault uniformly over ``n_ops`` operations from ``seed``.
+
+        The same ``(seed, n_ops)`` pair always yields the same fault — the
+        contract that makes a failed CI chaos seed reproducible locally.
+        """
+        if n_ops < 1:
+            raise ConfigError("seeded plans need n_ops >= 1")
+        rng = random.Random(seed)
+        kind = rng.choice(list(kinds))
+        fault = Fault(kind, site=site, at_op=rng.randrange(n_ops),
+                      offset=rng.randrange(64), delay=1 + rng.randrange(4))
+        return cls([fault], seed=seed)
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def ops_seen(self) -> int:
+        """Instrumented operations visited so far."""
+        return self._op
+
+    @property
+    def pending(self) -> tuple[Fault, ...]:
+        """Faults not yet fired."""
+        return tuple(self._pending)
+
+    def clear_crash(self) -> None:
+        """Acknowledge a simulated crash (a survivor caught the failure)."""
+        self.crashed = False
+
+    # -- matching -------------------------------------------------------------
+
+    def _visit(self, site: str, name: str) -> Fault | None:
+        op = self._op
+        self._op += 1
+        self.trace.append(TracePoint(op, site, name, self._phase))
+        self.meter.bump("fault_ops")
+        if self._armed_crash_op is not None and op >= self._armed_crash_op:
+            self._armed_crash_op = None
+            self._die(FaultEvent(op, FSYNC_LOSS, site, name),
+                      "crash after acknowledged-but-lost write")
+        for fault in self._pending:
+            if fault.triggers(op, site, name):
+                if fault.once:
+                    self._pending.remove(fault)
+                return fault
+        return None
+
+    def _record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+        self.meter.bump("faults_injected")
+        self.meter.bump(f"faults_{event.kind.replace('-', '_')}")
+
+    def _revert_lost_writes(self) -> None:
+        """Undo acknowledged-but-unsynced writes — the page cache just died."""
+        for path, offset, original in self._lost_writes:
+            try:
+                if offset is None:
+                    if original is None:
+                        path.unlink(missing_ok=True)
+                    else:
+                        path.write_bytes(original)
+                else:
+                    with open(path, "r+b") as handle:
+                        handle.seek(offset)
+                        handle.write(original or b"")
+                        handle.truncate(offset + len(original or b""))
+            except OSError:
+                # The file moved or vanished since (e.g. an atomic rename
+                # published it); the unsynced pages travelled with it.
+                pass
+        self._lost_writes.clear()
+
+    def _die(self, event: FaultEvent, reason: str) -> None:
+        self._record(event)
+        self._revert_lost_writes()
+        self.crashed = True
+        raise FaultInjected(
+            f"injected {event.kind} at op {event.op} ({event.site}: "
+            f"{event.path}): {reason}")
+
+    @staticmethod
+    def _cut(payload: bytes, offset: int | None) -> int:
+        if not payload:
+            return 0
+        cut = len(payload) // 2 if offset is None else offset
+        return max(0, min(cut, len(payload) - 1))
+
+    # -- per-site fault execution --------------------------------------------
+
+    def deliver_write(self, path: Path, payload: bytes, handle: BinaryIO) -> None:
+        """Execute one instrumented write, applying any matching fault."""
+        fault = self._visit(WRITE, str(path))
+        if fault is None:
+            handle.write(payload)
+            return
+        event = FaultEvent(self._op - 1, fault.kind, WRITE, str(path))
+        if fault.kind == ENOSPC:
+            self._record(event)
+            raise OSError(errno.ENOSPC,
+                          f"injected: no space left on device writing {path}")
+        if fault.kind == CRASH:
+            self._die(event, "crash before write")
+        if fault.kind == TORN:
+            handle.write(payload[:self._cut(payload, fault.offset)])
+            handle.flush()
+            self._die(event, "torn write (prefix reached disk)")
+        if fault.kind == FSYNC_LOSS:
+            # Page-cache semantics: the write is acknowledged and visible to
+            # every in-process reader, but the bytes are reverted when the
+            # armed crash fires ``delay`` operations later — unless an
+            # atomic rename published the file first (then they survived).
+            handle.flush()
+            pos = handle.tell()
+            original = b""
+            try:
+                with open(path, "rb") as snapshot:
+                    snapshot.seek(pos)
+                    original = snapshot.read(len(payload))
+            except OSError:
+                pass
+            handle.write(payload)
+            self._record(event)
+            self._lost_writes.append((Path(path), pos, original))
+            self._armed_crash_op = self._op + fault.delay
+            return
+        # BITFLIP: corrupt one bit in flight, keep running.
+        self._record(event)
+        handle.write(self._flip(payload, fault.offset))
+
+    def filter_read(self, path: Path, raw: bytes) -> bytes:
+        """Pass freshly read bytes through the plan (crash or corrupt)."""
+        fault = self._visit(READ, str(path))
+        if fault is None:
+            return raw
+        event = FaultEvent(self._op - 1, fault.kind, READ, str(path))
+        if fault.kind == BITFLIP:
+            self._record(event)
+            return self._flip(raw, fault.offset)
+        self._die(event, "crash during read")
+        return raw  # unreachable
+
+    def ledger_write(self, path: Path, text: str) -> None:
+        """Write checkpoint-ledger text, applying any matching fault."""
+        fault = self._visit(LEDGER, str(path))
+        payload = text.encode()
+        if fault is None:
+            path.write_bytes(payload)
+            return
+        event = FaultEvent(self._op - 1, fault.kind, LEDGER, str(path))
+        if fault.kind == CRASH:
+            self._die(event, "crash before ledger write")
+        if fault.kind == TORN:
+            path.write_bytes(payload[:self._cut(payload, fault.offset)])
+            self._die(event, "torn ledger write")
+        if fault.kind == FSYNC_LOSS:
+            original = path.read_bytes() if path.exists() else None
+            path.write_bytes(payload)
+            self._record(event)
+            self._lost_writes.append((Path(path), None, original))
+            self._armed_crash_op = self._op + fault.delay
+            return
+        if fault.kind == ENOSPC:
+            self._record(event)
+            raise OSError(errno.ENOSPC, f"injected: no space writing {path}")
+        self._record(event)
+        path.write_bytes(self._flip(payload, fault.offset))
+
+    def barrier(self, site: str, label: str) -> None:
+        """Visit a payload-less crash point (rename, phase boundary)."""
+        fault = self._visit(site, label)
+        if fault is not None and fault.kind == CRASH:
+            self._die(FaultEvent(self._op - 1, CRASH, site, label),
+                      "crash at barrier")
+
+    @staticmethod
+    def _flip(payload: bytes, offset: int | None) -> bytes:
+        if not payload:
+            return payload
+        index = (len(payload) // 2 if offset is None else offset) % len(payload)
+        corrupted = bytearray(payload)
+        corrupted[index] ^= 0x01
+        return bytes(corrupted)
+
+
+# -- the active plan and the substrate-facing hooks ---------------------------
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently injected plan, or ``None`` (production default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block (non-reentrant)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ConfigError("a fault plan is already active")
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None
+
+
+def crash_pending() -> bool:
+    """Whether an injected crash is unwinding the stack right now.
+
+    Cleanup code that a dead process could never run (scratch teardown in
+    ``finally`` blocks) consults this to leave residue behind, so recovery
+    is tested against realistic post-crash state.
+    """
+    return _ACTIVE is not None and _ACTIVE.crashed
+
+
+def clear_crash() -> None:
+    """Acknowledge a caught simulated crash (see :meth:`FaultPlan.clear_crash`)."""
+    if _ACTIVE is not None:
+        _ACTIVE.clear_crash()
+
+
+def deliver_write(path: Path, payload: bytes, handle: BinaryIO) -> None:
+    """Write ``payload`` to ``handle``, subject to the active plan."""
+    if _ACTIVE is None:
+        handle.write(payload)
+    else:
+        _ACTIVE.deliver_write(path, payload, handle)
+
+
+def filter_read(path: Path, raw: bytes) -> bytes:
+    """Pass ``raw`` bytes just read from ``path`` through the active plan."""
+    if _ACTIVE is None:
+        return raw
+    return _ACTIVE.filter_read(path, raw)
+
+
+def ledger_write(path: Path, text: str) -> None:
+    """Write checkpoint-ledger ``text`` to ``path`` under the active plan."""
+    if _ACTIVE is None:
+        path.write_text(text)
+    else:
+        _ACTIVE.ledger_write(path, text)
+
+
+def barrier(site: str, label: str) -> None:
+    """An injectable crash point with no payload (rename, phase end)."""
+    if _ACTIVE is not None:
+        _ACTIVE.barrier(site, label)
+
+
+def note_phase(name: str | None) -> None:
+    """Tell the active plan which pipeline phase is running (trace labels)."""
+    if _ACTIVE is not None:
+        _ACTIVE._phase = name

@@ -23,6 +23,7 @@ from typing import Iterator, Protocol
 import numpy as np
 
 from ..errors import DatasetError, StreamProtocolError
+from ..faults import plan as faults
 from .records import ReadBatch
 
 _MAGIC = b"LSGR"
@@ -147,7 +148,7 @@ class PackedReadStore:
                 f"batch read length {batch.read_length} != store length {self._read_length}"
             )
         packed = pack_codes(batch.codes)
-        self._handle.write(packed.tobytes())
+        faults.deliver_write(self._path, packed.tobytes(), self._handle)
         if self._meter is not None:
             self._meter.add_write(packed.nbytes)
         self._n_reads += batch.n_reads
@@ -157,8 +158,13 @@ class PackedReadStore:
         if self._handle.closed:
             return
         if self._mode == "w":
+            # The header patch is the store's commit point: a crash just
+            # before it leaves n_reads=0, which a resumed load re-runs.
             self._handle.seek(0)
-            self._handle.write(_HEADER.pack(_MAGIC, _VERSION, self._read_length, self._n_reads))
+            faults.deliver_write(
+                self._path,
+                _HEADER.pack(_MAGIC, _VERSION, self._read_length, self._n_reads),
+                self._handle)
         self._handle.close()
 
     def __enter__(self) -> "PackedReadStore":
@@ -177,7 +183,8 @@ class PackedReadStore:
             raise DatasetError(f"slice [{start}, {stop}) out of range 0..{self._n_reads}")
         count = stop - start
         self._handle.seek(_HEADER.size + start * self._bytes_per_read)
-        raw = self._handle.read(count * self._bytes_per_read)
+        raw = faults.filter_read(self._path,
+                                 self._handle.read(count * self._bytes_per_read))
         if self._meter is not None:
             self._meter.add_read(len(raw))
         packed = np.frombuffer(raw, dtype=np.uint8).reshape(count, self._bytes_per_read)

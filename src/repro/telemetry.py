@@ -84,6 +84,34 @@ class PhaseStats:
         return " ".join(parts)
 
 
+class EventMeter:
+    """A dict-backed :class:`Meter` for sparse event counters.
+
+    Sources that are not memory pools or clocks — e.g. the fault-injection
+    plan counting injected faults and instrumented I/O operations — bump
+    named counters here and register the meter like any other, so per-phase
+    deltas (faults injected during *sort* vs *reduce*) come for free.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Increase counter ``key`` by ``amount``."""
+        self._counts[key] = self._counts.get(key, 0.0) + amount
+
+    def counters(self) -> Mapping[str, float]:
+        """Monotonically increasing event totals."""
+        return dict(self._counts)
+
+    def peaks(self) -> Mapping[str, float]:
+        """Event meters expose no gauges."""
+        return {}
+
+    def reset_peaks(self) -> None:
+        """No gauges to reset."""
+
+
 class _PhaseContext:
     """Context manager produced by :meth:`Telemetry.phase`.
 
