@@ -1,0 +1,127 @@
+"""Pipelined-execution overlap benchmark: serial vs worker-pool runs.
+
+Runs the map + sort phases (the two pipelined hot paths) on the Fig. 8
+workload — the scaled H.Genome partition dataset — under ``workers`` ∈
+{1, 2, 4} and reports, per run, the wall time and the wall seconds the
+double-buffered overlap removed (``overlap_saved_s``, background busy
+minus caller blocked time). Results land in
+``benchmarks/results/BENCH_parallel.json``::
+
+    {"cpu_count": ..., "mode": "full"|"smoke",
+     "entries": [{"workload": ..., "workers": ..., "wall_s": ...,
+                  "overlap_saved_s": ...}, ...]}
+
+``--smoke`` swaps in a tiny simulated dataset so CI can exercise the
+parallel code paths in seconds; it is a plumbing check, not a measurement.
+Speedups need real cores: on a single-CPU host all worker counts degenerate
+to roughly serial wall time (the JSON records ``cpu_count`` so a reader can
+tell).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_overlap.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.config import AssemblyConfig, MemoryConfig
+from repro.core.context import RunContext
+from repro.core.map_phase import run_map
+from repro.core.sort_phase import run_sort
+from repro.seq.datasets import tiny_dataset
+from repro.seq.packing import PackedReadStore
+
+WORKER_COUNTS = (1, 2, 4)
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_parallel.json"
+
+
+def _measure(store_path: Path, config: AssemblyConfig, workdir: Path) -> dict:
+    """One map+sort run; returns wall and overlap seconds."""
+    ctx = RunContext(config, workdir=workdir)
+    try:
+        begin = time.perf_counter()
+        with PackedReadStore.open(store_path) as store:
+            with ctx.telemetry.phase("map"):
+                partitions, _ = run_map(ctx, store)
+            with ctx.telemetry.phase("sort"):
+                run_sort(ctx, partitions)
+        wall = time.perf_counter() - begin
+        saved = sum(stats.overlap_saved_s for stats in ctx.telemetry)
+        map_wall = ctx.telemetry["map"].wall_seconds
+    finally:
+        ctx.cleanup()
+    return {"wall_s": round(wall, 4), "overlap_saved_s": round(saved, 4),
+            "map_wall_s": round(map_wall, 4)}
+
+
+def _full_workload(root: Path):
+    from _common import dataset, scaled_memory
+
+    materialized = dataset("H.Genome")
+    config_for = lambda workers: AssemblyConfig(  # noqa: E731
+        min_overlap=materialized.spec.min_overlap,
+        memory=scaled_memory("qb2"), device_name="K40",
+        fingerprint_lanes=2, workers=workers)
+    return "hgenome_sim(map+sort)", materialized.store_path, config_for
+
+
+def _smoke_workload(root: Path):
+    materialized, _ = tiny_dataset(root / "data", genome_length=2000,
+                                   read_length=50, coverage=20.0,
+                                   min_overlap=25, seed=11)
+    config_for = lambda workers: AssemblyConfig(  # noqa: E731
+        min_overlap=25, workers=workers,
+        memory=MemoryConfig(64 << 20, 1 << 20),
+        host_block_pairs=500, device_block_pairs=128)
+    return "tiny_sim(map+sort)", materialized.store_path, config_for
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset, seconds not minutes (CI plumbing check)")
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args(argv)
+
+    import os
+
+    with tempfile.TemporaryDirectory(prefix="bench-parallel-") as tmp:
+        tmp_root = Path(tmp)
+        workload, store_path, config_for = (
+            _smoke_workload(tmp_root) if args.smoke else _full_workload(tmp_root))
+        entries = []
+        for workers in WORKER_COUNTS:
+            measured = _measure(store_path, config_for(workers),
+                                tmp_root / f"work-{workers}")
+            entry = {"workload": workload, "workers": workers, **measured}
+            entries.append(entry)
+            print(f"workers={workers}: wall={entry['wall_s']:.3f}s "
+                  f"(map {entry['map_wall_s']:.3f}s) "
+                  f"overlap_saved={entry['overlap_saved_s']:.3f}s")
+
+    serial = entries[0]["wall_s"]
+    for entry in entries[1:]:
+        print(f"speedup @ {entry['workers']} workers: "
+              f"{serial / entry['wall_s']:.2f}x")
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(
+        {"cpu_count": os.cpu_count(),
+         "mode": "smoke" if args.smoke else "full",
+         "entries": entries}, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

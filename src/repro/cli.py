@@ -45,8 +45,10 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
     from .core import Assembler
 
     memory = MemoryConfig(parse_size(args.host_mem), parse_size(args.device_mem))
+    extra = {} if args.workers is None else {"workers": args.workers}
     config = AssemblyConfig(min_overlap=args.min_overlap, memory=memory,
-                            device_name=args.device, fingerprint_lanes=args.lanes)
+                            device_name=args.device, fingerprint_lanes=args.lanes,
+                            **extra)
     result = Assembler(config).assemble(args.reads, workdir=args.workdir,
                                         resume=args.resume, gfa_path=args.gfa)
     print(result.summary())
@@ -227,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--device-mem", default="96 MB")
     asm.add_argument("--device", default="K40")
     asm.add_argument("--lanes", type=int, default=1, choices=(1, 2))
+    asm.add_argument("--workers", type=int, default=None,
+                     help="pipeline worker threads (1=serial, 0=auto; "
+                          "default: REPRO_WORKERS or 1)")
     asm.add_argument("--workdir")
     asm.add_argument("--resume", action="store_true",
                      help="continue a prior interrupted run (needs --workdir)")

@@ -74,6 +74,10 @@ def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
     }
     payload["source"] = source_id
     del payload["keep_workdir"]
+    # Execution-only knob: any worker count produces byte-identical
+    # artifacts (asserted by tests/test_parallel_determinism.py), so a
+    # run may be resumed under a different REPRO_WORKERS setting.
+    payload.pop("workers", None)
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest()[:16]
 

@@ -14,6 +14,7 @@ from ..errors import HostMemoryError
 from ..extmem import IOAccountant
 from ..faults import plan as faults
 from ..fingerprint import FingerprintScheme
+from ..parallel import PipelineExecutor
 from ..telemetry import Telemetry
 
 
@@ -42,11 +43,16 @@ class RunContext:
         self.host_pool = MemoryPool("host", config.memory.host_bytes, HostMemoryError)
         self.scheme = FingerprintScheme(lanes=config.fingerprint_lanes,
                                         seed=config.seed & 0xFFFF)
+        # The pipelined executor (workers=1 ⇒ pure serial). Output is
+        # byte-identical for any worker count; an armed fault plan forces
+        # serial execution at call time, whatever the config says.
+        self.executor = PipelineExecutor(config.resolved_workers())
         self.telemetry = Telemetry()
         self.telemetry.register(self.clock)
         self.telemetry.register(self.accountant)
         self.telemetry.register(self.gpu.pool)
         self.telemetry.register(self.host_pool)
+        self.telemetry.register(self.executor.meter)
         # Under chaos injection, fault events show up as per-phase counters
         # (faults_injected, fault_ops, …) so benchmarks can report which
         # phase absorbed the failures and what recovery cost.
@@ -61,6 +67,7 @@ class RunContext:
         self.clock.charge("host", costs.host_work_seconds(self.host_spec, nbytes_touched))
 
     def cleanup(self) -> None:
-        """Remove the working directory if this context created it."""
+        """Release the executor and remove an owned working directory."""
+        self.executor.shutdown()
         if self._owns_workdir and not self.config.keep_workdir:
             shutil.rmtree(self.workdir, ignore_errors=True)

@@ -9,12 +9,23 @@ partition files:
 
 * lengths below ``l_min`` are discarded (too short to be an overlap),
 * length ``l_max`` (whole-read matches) is dropped to avoid self-loops,
-* suffix tuples go to the ``S`` partition of their length, prefixes to ``P``.
+* suffix tuples go to the ``S`` partition of their length, prefixes to the
+  ``P`` partition.
 
 The paper materializes the tuples on the GPU, sorts them by length, and
 writes one file per partition; routing by direct slicing (column ``l`` of
 the fingerprint matrix *is* the length partition) is the same mapping
 without the intermediate sort, and produces byte-identical partition files.
+Routing is fully vectorized: one fancy-indexed gather per orientation
+builds the whole ``(n_lengths × n_batch)`` prefix/suffix record block,
+instead of ~2·L per-length Python record assemblies per batch.
+
+Execution is pipelined through :class:`~repro.parallel.PipelineExecutor`:
+a background producer prefetches packed-read batches off disk (depth 2)
+while pool workers fingerprint the in-flight batches. Partition appends —
+and all modeled accounting (scratch reservations, kernel charges) — happen
+on the main thread in strict batch order, so partition files *and* modeled
+costs are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -25,10 +36,41 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..extmem import PartitionStore
-from ..extmem.records import kv_dtype, make_records
+from ..extmem.records import AUX_FIELD, KEY_FIELD, VAL_FIELD, kv_dtype
 from ..seq.alphabet import reverse_complement
 from ..seq.packing import PackedReadStore
 from .context import RunContext
+
+#: Batches the prefetch producer keeps in flight ahead of the workers.
+PREFETCH_DEPTH = 2
+
+
+def per_read_device_bytes(read_length: int, lanes: int) -> int:
+    """Device working set of one read in the map phase, in bytes.
+
+    Per read and orientation the device holds the code row plus, per hash
+    lane, two ``uint64`` fingerprint rows and the packed key row (prefix
+    and suffix each): ``L · (1 + 8·6·lanes)`` bytes, times 2 orientations.
+    Single source of truth for both the auto batch sizing and the per-batch
+    scratch reservation.
+    """
+    return 2 * read_length * (1 + 8 * 6 * lanes)
+
+
+def _auto_batch_reads(ctx: RunContext, read_length: int) -> int:
+    """Largest batch whose device working set fits the device budget."""
+    per_read = per_read_device_bytes(read_length, ctx.config.fingerprint_lanes)
+    budget = int(ctx.config.memory.device_bytes * ctx.config.memory.buffer_fraction)
+    return max(1, budget // per_read)
+
+
+def overlap_lengths(ctx: RunContext, read_length: int) -> tuple[int, ...]:
+    """The partition lengths ``[l_min, l_max)`` for this run."""
+    l_min = ctx.config.min_overlap
+    if l_min >= read_length:
+        raise ConfigError(
+            f"min_overlap {l_min} must be smaller than the read length {read_length}")
+    return tuple(range(l_min, read_length))
 
 
 @dataclass(frozen=True)
@@ -41,26 +83,27 @@ class MapReport:
     lengths: tuple[int, ...]
 
 
-def _auto_batch_reads(ctx: RunContext, read_length: int) -> int:
-    """Largest batch whose device working set fits the device budget.
+def _record_blocks(prefix_keys, suffix_keys, vertices: np.ndarray,
+                   prefix_cols: np.ndarray, suffix_cols: np.ndarray,
+                   dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Gather the full per-length record blocks for one orientation.
 
-    Per read and orientation the device holds the code row plus, per hash
-    lane, two ``uint64`` fingerprint rows and the packed key row (prefix and
-    suffix each): ``L · (1 + 8·6·lanes)`` bytes, times 2 orientations.
+    Row ``j`` of each returned ``(n_lengths, n_batch)`` block holds exactly
+    the records the per-length loop used to assemble one
+    ``make_records`` call at a time — same values, same field layout, so
+    the partition bytes are unchanged.
     """
-    lanes = ctx.config.fingerprint_lanes
-    per_read = 2 * read_length * (1 + 8 * 6 * lanes)
-    budget = int(ctx.config.memory.device_bytes * ctx.config.memory.buffer_fraction)
-    return max(1, budget // per_read)
-
-
-def overlap_lengths(ctx: RunContext, read_length: int) -> tuple[int, ...]:
-    """The partition lengths ``[l_min, l_max)`` for this run."""
-    l_min = ctx.config.min_overlap
-    if l_min >= read_length:
-        raise ConfigError(
-            f"min_overlap {l_min} must be smaller than the read length {read_length}")
-    return tuple(range(l_min, read_length))
+    lanes = 2 if AUX_FIELD in (dtype.names or ()) else 1
+    prefix_block = np.empty((prefix_cols.shape[0], vertices.shape[0]), dtype=dtype)
+    suffix_block = np.empty_like(prefix_block)
+    prefix_block[KEY_FIELD] = prefix_keys[0][:, prefix_cols].T
+    suffix_block[KEY_FIELD] = suffix_keys[0][:, suffix_cols].T
+    prefix_block[VAL_FIELD] = vertices
+    suffix_block[VAL_FIELD] = vertices
+    if lanes == 2:
+        prefix_block[AUX_FIELD] = prefix_keys[1][:, prefix_cols].T
+        suffix_block[AUX_FIELD] = suffix_keys[1][:, suffix_cols].T
+    return prefix_block, suffix_block
 
 
 def run_map(ctx: RunContext, store: PackedReadStore,
@@ -84,40 +127,52 @@ def run_map(ctx: RunContext, store: PackedReadStore,
     if partitions is None:
         partitions = PartitionStore(ctx.workdir / "partitions", dtype, ctx.accountant)
     lanes = ctx.config.fingerprint_lanes
+    per_read = per_read_device_bytes(read_length, lanes)
     n_batches = 0
     tuples_written = 0
     start, stop = read_range if read_range is not None else (0, store.n_reads)
+    lengths_arr = np.asarray(lengths, dtype=np.intp)
+    prefix_cols = lengths_arr - 1
+    suffix_cols = read_length - lengths_arr
 
     def batches():
         for batch_start in range(start, stop, batch_reads):
             yield store.read_slice(batch_start, min(batch_start + batch_reads, stop))
 
+    def fingerprint(batch):
+        """Worker-side compute: pure numpy, no modeled-hardware access."""
+        orientations = []
+        for orientation in (0, 1):
+            codes = batch.codes if orientation == 0 else reverse_complement(batch.codes)
+            vertices = (batch.read_ids.astype(np.uint32) << np.uint32(1)) \
+                | np.uint32(orientation)
+            prefix_keys, suffix_keys = ctx.scheme.key_matrices(codes)
+            blocks = _record_blocks(prefix_keys, suffix_keys, vertices,
+                                    prefix_cols, suffix_cols, dtype)
+            orientations.append((codes.nbytes, blocks))
+        return batch.n_reads, orientations
+
+    executor = ctx.executor
     try:
-        for batch in batches():
+        stream = executor.map_ordered(
+            fingerprint, executor.prefetch(batches(), depth=PREFETCH_DEPTH))
+        for n, orientations in stream:
             n_batches += 1
-            n = batch.n_reads
-            per_read = 2 * read_length * (1 + 8 * 6 * lanes)
+            # Modeled accounting stays on the main thread, in batch order:
+            # scratch reservations, kernel charges and partition appends
+            # are identical to the serial schedule for any worker count.
             with ctx.gpu.scratch(n * per_read, label="map-batch"), \
                     ctx.host_pool.alloc(n * per_read, label="map-host-buffers"):
-                for orientation in (0, 1):
-                    codes = batch.codes if orientation == 0 else reverse_complement(batch.codes)
+                for orientation, (codes_nbytes, blocks) in enumerate(orientations):
                     if orientation == 1:
-                        ctx.gpu.charge_elementwise(codes.nbytes * 2)
-                    vertices = (batch.read_ids.astype(np.uint32) << np.uint32(1)) \
-                        | np.uint32(orientation)
+                        ctx.gpu.charge_elementwise(codes_nbytes * 2)
                     # One scan launch per hash lane per direction (Figs. 5-6).
-                    prefix_keys, suffix_keys = ctx.scheme.key_matrices(codes)
                     for _ in range(2 * 2 * lanes):
                         ctx.gpu.charge_scan_kernel(n, read_length)
-                    for length in lengths:
-                        prefix_records = make_records(
-                            prefix_keys[0][:, length - 1], vertices,
-                            prefix_keys[1][:, length - 1] if lanes == 2 else None)
-                        suffix_records = make_records(
-                            suffix_keys[0][:, read_length - length], vertices,
-                            suffix_keys[1][:, read_length - length] if lanes == 2 else None)
-                        partitions.append("P", length, prefix_records)
-                        partitions.append("S", length, suffix_records)
+                    prefix_block, suffix_block = blocks
+                    for j, length in enumerate(lengths):
+                        partitions.append("P", length, prefix_block[j])
+                        partitions.append("S", length, suffix_block[j])
                         tuples_written += 2 * n
                     ctx.gpu.charge_elementwise(2 * n * len(lengths) * dtype.itemsize)
     finally:

@@ -39,7 +39,8 @@ def make_sorter(ctx: RunContext, dtype) -> ExternalSorter:
     return ExternalSorter(gpu=ctx.gpu, host_pool=ctx.host_pool,
                           accountant=ctx.accountant, dtype=dtype,
                           host_block_pairs=m_h, device_block_pairs=m_d,
-                          merge_fanout=ctx.config.merge_fanout)
+                          merge_fanout=ctx.config.merge_fanout,
+                          executor=ctx.executor)
 
 
 def run_sort(ctx: RunContext, partitions: PartitionStore) -> SortPhaseReport:

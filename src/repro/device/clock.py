@@ -9,6 +9,7 @@ phase records how much modeled disk/PCIe/kernel/host time it accrued.
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping
 
 from ..errors import ConfigError
@@ -30,6 +31,9 @@ class SimClock:
 
     def __init__(self) -> None:
         self._by_category: dict[str, float] = {cat: 0.0 for cat in CATEGORIES}
+        # Charges arrive from executor worker/prefetch threads as well as
+        # the main thread; += on a dict slot is not atomic under threads.
+        self._lock = threading.Lock()
 
     def charge(self, category: str, seconds: float) -> None:
         """Add ``seconds`` of modeled time to ``category``."""
@@ -37,7 +41,8 @@ class SimClock:
             raise ConfigError(f"unknown sim-clock category {category!r}")
         if seconds < 0:
             raise ConfigError("cannot charge negative time")
-        self._by_category[category] += seconds
+        with self._lock:
+            self._by_category[category] += seconds
 
     @property
     def total_seconds(self) -> float:

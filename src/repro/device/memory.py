@@ -11,6 +11,7 @@ Tables IV/V ("peak host/device memory per phase").
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping
 
 from ..errors import ConfigError, ReproError
@@ -63,6 +64,9 @@ class MemoryPool:
         self._peak = 0
         self._lifetime_peak = 0
         self._alloc_count = 0
+        # Device allocations may arrive from executor worker threads (the
+        # device lock serializes device *work*, but frees can interleave).
+        self._lock = threading.Lock()
 
     # -- allocation --------------------------------------------------------
 
@@ -71,23 +75,25 @@ class MemoryPool:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ConfigError("cannot allocate negative bytes")
-        if self._used + nbytes > self.capacity_bytes:
-            raise self._exhausted_error(
-                f"{self.name} pool exhausted: requested {nbytes} "
-                f"({label or 'unlabelled'}), in use {self._used}, "
-                f"capacity {self.capacity_bytes}"
-            )
-        self._used += nbytes
-        self._alloc_count += 1
-        if self._used > self._peak:
-            self._peak = self._used
-        if self._used > self._lifetime_peak:
-            self._lifetime_peak = self._used
+        with self._lock:
+            if self._used + nbytes > self.capacity_bytes:
+                raise self._exhausted_error(
+                    f"{self.name} pool exhausted: requested {nbytes} "
+                    f"({label or 'unlabelled'}), in use {self._used}, "
+                    f"capacity {self.capacity_bytes}"
+                )
+            self._used += nbytes
+            self._alloc_count += 1
+            if self._used > self._peak:
+                self._peak = self._used
+            if self._used > self._lifetime_peak:
+                self._lifetime_peak = self._used
         return Allocation(self, nbytes)
 
     def _release(self, nbytes: int) -> None:
-        self._used -= nbytes
-        assert self._used >= 0, f"{self.name} pool over-freed"
+        with self._lock:
+            self._used -= nbytes
+            assert self._used >= 0, f"{self.name} pool over-freed"
 
     # -- inspection ---------------------------------------------------------
 
@@ -123,4 +129,5 @@ class MemoryPool:
 
     def reset_peaks(self) -> None:
         """Restart peak tracking from the current usage."""
-        self._peak = self._used
+        with self._lock:
+            self._peak = self._used

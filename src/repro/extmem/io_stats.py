@@ -10,6 +10,7 @@ shared cost model.
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping
 
 from ..device import costs
@@ -28,22 +29,27 @@ class IOAccountant:
         self._read_ops = 0
         self._write_ops = 0
         self._seeks = 0
+        # Read-ahead producers and write-behind drains account from
+        # background threads concurrently with the main thread.
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
 
     def add_read(self, nbytes: int, *, seeks: int = 0) -> None:
         """Record a sequential read of ``nbytes`` (plus optional seeks)."""
-        self._read_bytes += int(nbytes)
-        self._read_ops += 1
-        self._seeks += seeks
+        with self._lock:
+            self._read_bytes += int(nbytes)
+            self._read_ops += 1
+            self._seeks += seeks
         if self.clock is not None:
             self.clock.charge("disk_read", costs.disk_read_seconds(self.disk, nbytes, seeks=seeks))
 
     def add_write(self, nbytes: int, *, seeks: int = 0) -> None:
         """Record a sequential write of ``nbytes`` (plus optional seeks)."""
-        self._write_bytes += int(nbytes)
-        self._write_ops += 1
-        self._seeks += seeks
+        with self._lock:
+            self._write_bytes += int(nbytes)
+            self._write_ops += 1
+            self._seeks += seeks
         if self.clock is not None:
             self.clock.charge("disk_write", costs.disk_write_seconds(self.disk, nbytes, seeks=seeks))
 

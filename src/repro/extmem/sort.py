@@ -40,6 +40,7 @@ from ..device.gpu import VirtualGPU
 from ..device.memory import MemoryPool
 from ..errors import ConfigError
 from ..faults import plan as faults
+from ..parallel import PipelineExecutor
 from .io_stats import IOAccountant
 from .merge import merge_in_memory_k, merge_streams_k
 from .records import KEY_FIELD
@@ -116,7 +117,8 @@ class ExternalSorter:
     def __init__(self, *, gpu: VirtualGPU, host_pool: MemoryPool,
                  accountant: IOAccountant | None, dtype: np.dtype,
                  host_block_pairs: int, device_block_pairs: int,
-                 merge_fanout: int = 2, key_field: str = KEY_FIELD):
+                 merge_fanout: int = 2, key_field: str = KEY_FIELD,
+                 executor: PipelineExecutor | None = None):
         if host_block_pairs < 2 or device_block_pairs < 2:
             raise ConfigError("block sizes must be >= 2 records")
         if merge_fanout < 0 or merge_fanout == 1:
@@ -124,6 +126,9 @@ class ExternalSorter:
         self.gpu = gpu
         self.host_pool = host_pool
         self.accountant = accountant
+        #: Pipelined execution (read-ahead, ordered block sorting, write-
+        #: behind); the default is the serial single-worker executor.
+        self.executor = executor if executor is not None else PipelineExecutor(1)
         self.dtype = np.dtype(dtype)
         self.key_field = key_field
         self.m_h = host_block_pairs
@@ -259,18 +264,30 @@ class ExternalSorter:
     def _sort_into(self, in_path: Path, out_path: Path,
                    scratch_dir: Path) -> SortReport:
         record_nbytes = self.dtype.itemsize
+        executor = self.executor
 
-        # Run formation: host blocks sorted through the device.
+        # Run formation: host blocks sorted through the device. Blocks are
+        # pulled off disk on this thread (sequential op order is fixed) and
+        # sorted on pool workers with submission-order delivery, so the
+        # next block's read overlaps the current block's device sort while
+        # the run files stay byte-identical. Device work is serialized by
+        # the executor's device lock: the modeled GPU is one capacity pool,
+        # and two concurrent block sorts would double its (real) peak.
         run_paths: list[Path] = []
         n_records = 0
         with RunReader(in_path, self.dtype, self.accountant) as reader:
-            while not reader.exhausted:
-                block_records = min(self.host_block, reader.remaining)
-                with self.host_pool.alloc(block_records * record_nbytes *
+            def blocks():
+                while not reader.exhausted:
+                    yield reader.read(self.host_block)
+
+            def sort_block(block: np.ndarray) -> np.ndarray:
+                with executor.device_lock:
+                    return self.sort_block_in_host(block)
+
+            for sorted_block in executor.map_ordered(sort_block, blocks()):
+                with self.host_pool.alloc(sorted_block.shape[0] * record_nbytes *
                                           HOST_SORT_FOOTPRINT, label="sort-block"):
-                    block = reader.read(self.host_block)
-                    n_records += block.shape[0]
-                    sorted_block = self.sort_block_in_host(block)
+                    n_records += sorted_block.shape[0]
                     run_path = scratch_dir / f"run_{len(run_paths):05d}.run"
                     with RunWriter(run_path, self.dtype, self.accountant) as writer:
                         writer.append(sorted_block)
@@ -310,11 +327,21 @@ class ExternalSorter:
                         for p in group]
                     writer = stack.enter_context(
                         RunWriter(merged_path, self.dtype, self.accountant))
-                    merge_streams_k(readers, writer.append,
-                                    window_records=self.host_kway_window,
-                                    merge_fn=self.merge_blocks_in_host,
-                                    merge_fn_k=self.merge_windows,
-                                    key_field=self.key_field)
+                    # Read-ahead keeps one window per input stream in
+                    # flight; write-behind overlaps the merged window's
+                    # disk write with the next device merge. Both are
+                    # order-preserving, so the merged run is byte-for-byte
+                    # the serial one. The sink closes (draining and
+                    # re-raising any deferred write error) before the
+                    # ExitStack closes the writer underneath it.
+                    sources = [executor.read_ahead(r, self.host_kway_window)
+                               for r in readers]
+                    with executor.write_behind(writer.append) as sink:
+                        merge_streams_k(sources, sink.put,
+                                        window_records=self.host_kway_window,
+                                        merge_fn=self.merge_blocks_in_host,
+                                        merge_fn_k=self.merge_windows,
+                                        key_field=self.key_field)
                 for path in group:
                     path.unlink()
                 next_paths.append(merged_path)

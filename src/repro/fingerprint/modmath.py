@@ -7,6 +7,8 @@ why this is the faithful substitution for the paper's 64-bit hash lanes.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..errors import ConfigError
@@ -30,11 +32,15 @@ def check_params(radix: int, prime: int) -> None:
         raise ConfigError(f"prime must be < 2^31 for overflow-free uint64 math, got {prime}")
 
 
+@lru_cache(maxsize=None)
 def place_values(radix: int, prime: int, length: int) -> np.ndarray:
     """``M[i] = radix**i mod prime`` for ``i in [0, length)`` (paper's M array).
 
-    Computed once per read length and reused for every batch, exactly as the
-    paper precomputes it once per program.
+    Computed once per ``(radix, prime, length)`` and memoized — the paper
+    precomputes M once per program, whereas recomputing the Python loop on
+    every ``suffix_fingerprints_batch`` call burned time on every batch.
+    The cached array is frozen so no caller can corrupt later lookups;
+    ``lru_cache`` is thread-safe, which the pipelined map workers rely on.
     """
     check_params(radix, prime)
     if length < 1:
@@ -44,6 +50,7 @@ def place_values(radix: int, prime: int, length: int) -> np.ndarray:
     for i in range(length):
         out[i] = value
         value = (value * radix) % prime
+    out.setflags(write=False)
     return out
 
 

@@ -1,0 +1,14 @@
+"""Pipelined parallel execution: overlap I/O with compute (§III.B).
+
+The paper's central performance argument is *overlap*: reads stream
+disk → host → device while the device sorts, so the semi-streaming phases
+are bounded by bandwidth rather than by the sum of their parts. This
+package is the execution substrate for that overlap — a worker-pool
+executor whose result delivery is **submission-ordered**, so every
+downstream write is byte-identical to the serial run regardless of the
+worker count.
+"""
+
+from .executor import PipelineExecutor, PrefetchingSource, WriteBehind
+
+__all__ = ["PipelineExecutor", "PrefetchingSource", "WriteBehind"]

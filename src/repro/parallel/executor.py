@@ -1,0 +1,400 @@
+"""The pipelined executor: double-buffered I/O + ordered worker-pool map.
+
+Three primitives cover every overlap pattern the pipeline needs:
+
+* :meth:`PipelineExecutor.map_ordered` — run a function over an item
+  stream on a worker pool with a bounded in-flight window, delivering
+  results in **submission order**. numpy releases the GIL on the large
+  vectorized kernels that dominate each task, so threads give genuine
+  parallelism without forking the virtual-hardware state.
+* :meth:`PipelineExecutor.prefetch` — a background producer draining an
+  iterator into a bounded buffer (double-buffered reads: the next batch
+  leaves the disk while the current one is being fingerprinted).
+* :meth:`PipelineExecutor.write_behind` — a background consumer draining
+  an ordered queue into a write function (the merge never blocks on
+  ``write()``); deferred I/O errors re-raise on :meth:`WriteBehind.close`.
+
+Determinism rules, enforced here so call sites cannot get them wrong:
+
+* ``workers=1`` (the default, paper-faithful serial mode) executes
+  everything inline on the caller's thread — zero threads, zero queues,
+  byte-for-byte and op-for-op identical to the pre-parallel code.
+* When a :class:`~repro.faults.plan.FaultPlan` is armed the executor
+  *degrades to serial automatically*, whatever ``workers`` says: fault
+  schedules pin failures to exact operation counts, and background I/O
+  would perturb the op ordering the chaos harness replays against.
+* Result delivery is always submission-ordered, so partition appends,
+  run writes and merge output are identical for any worker count.
+
+The ``device_lock`` serializes virtual-device work: the modeled GPU is
+one resource with a hard capacity pool, so concurrent block sorts would
+double the modeled peak device memory (and blow the pool) — exactly as
+two host threads cannot both fill a real 12 GB K40. Workers therefore
+overlap *host/disk* work with device work rather than device with device.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..faults import plan as faults
+from ..telemetry import EventMeter
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Queue sentinel marking the end of a background stream.
+_DONE = object()
+
+#: Default read-ahead / write-behind buffer depth (double buffering).
+DEFAULT_DEPTH = 2
+
+
+class PipelineExecutor:
+    """Worker-pool executor with deterministic (submission-order) delivery.
+
+    ``workers=1`` is the paper-faithful serial mode; ``workers=0`` derives
+    the pool size from ``os.cpu_count()``. The executor is also a
+    telemetry source: ``par_busy_s`` accumulates background busy seconds
+    (worker tasks, prefetch reads, write-behind writes) and ``par_wait_s``
+    the caller-thread seconds spent blocked on background work, so
+    ``overlap_saved_s = par_busy_s − par_wait_s`` is the wall time the
+    overlap removed relative to a serialized schedule.
+    """
+
+    def __init__(self, workers: int = 1):
+        workers = int(workers)
+        if workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = auto from cpu_count)")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.meter = EventMeter()
+        #: Serializes modeled-device work (one virtual GPU, one capacity pool).
+        self.device_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_guard = threading.Lock()
+
+    # -- mode -----------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether background threads may be used *right now*.
+
+        False in serial mode and whenever a fault plan is armed — fault
+        op-counts must stay exact, so chaos runs are always serial.
+        """
+        return self.workers > 1 and faults.active_plan() is None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-worker")
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (idempotent; serial mode is a no-op)."""
+        with self._pool_guard:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- ordered map ----------------------------------------------------------
+
+    def map_ordered(self, fn: Callable[[T], R], items: Iterable[T], *,
+                    window: int | None = None) -> Iterator[R]:
+        """Apply ``fn`` to ``items`` on the pool, yielding in submission order.
+
+        At most ``window`` items (default ``workers + DEFAULT_DEPTH``) are
+        in flight — submitted but not yet delivered — so memory stays
+        bounded however fast the producer is. Items are pulled from
+        ``items`` on the *caller's* thread (sequential reads keep their
+        op ordering); a worker exception re-raises here with its original
+        traceback when its result's turn comes.
+        """
+        if not self.parallel:
+            for item in items:
+                yield fn(item)
+            return
+        if window is None:
+            window = self.workers + DEFAULT_DEPTH
+        if window < 1:
+            raise ConfigError("map_ordered window must be >= 1")
+        pool = self._ensure_pool()
+        pending: deque = deque()
+
+        def timed(item: T) -> R:
+            begin = time.perf_counter()
+            try:
+                return fn(item)
+            finally:
+                self.meter.bump("par_busy_s", time.perf_counter() - begin)
+                self.meter.bump("par_tasks")
+
+        try:
+            for item in items:
+                pending.append(pool.submit(timed, item))
+                if len(pending) >= window:
+                    yield self._await(pending.popleft())
+            while pending:
+                yield self._await(pending.popleft())
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def _await(self, future) -> Any:
+        begin = time.perf_counter()
+        try:
+            return future.result()
+        finally:
+            self.meter.bump("par_wait_s", time.perf_counter() - begin)
+
+    # -- prefetch (double-buffered producer) ----------------------------------
+
+    def prefetch(self, items: Iterable[T], *,
+                 depth: int = DEFAULT_DEPTH) -> Iterator[T]:
+        """Drain ``items`` on a background producer, ``depth`` ahead.
+
+        The producer runs on a dedicated thread (never a pool worker, so
+        a full buffer can never starve :meth:`map_ordered` tasks into a
+        deadlock). Producer exceptions re-raise at the consumer's next
+        pull; an empty iterator yields nothing.
+        """
+        if not self.parallel:
+            yield from items
+            return
+        if depth < 1:
+            raise ConfigError("prefetch depth must be >= 1")
+        buffer: queue.Queue = queue.Queue(maxsize=depth)
+
+        def produce() -> None:
+            iterator = iter(items)
+            try:
+                while True:
+                    begin = time.perf_counter()
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        break
+                    self.meter.bump("par_busy_s", time.perf_counter() - begin)
+                    buffer.put(item)
+            except BaseException as exc:  # noqa: BLE001 — relayed to consumer
+                buffer.put((_DONE, exc))
+                return
+            buffer.put((_DONE, None))
+
+        thread = threading.Thread(target=produce, name="repro-prefetch",
+                                  daemon=True)
+        thread.start()
+        while True:
+            begin = time.perf_counter()
+            item = buffer.get()
+            self.meter.bump("par_wait_s", time.perf_counter() - begin)
+            if isinstance(item, tuple) and len(item) == 2 and item[0] is _DONE:
+                thread.join()
+                if item[1] is not None:
+                    raise item[1]
+                return
+            yield item
+
+    # -- read-ahead / write-behind sinks --------------------------------------
+
+    def read_ahead(self, source, chunk_records: int, *,
+                   depth: int = DEFAULT_DEPTH):
+        """Wrap a chunk source in a :class:`PrefetchingSource` (serial: as-is)."""
+        if not self.parallel:
+            return source
+        return PrefetchingSource(source, chunk_records, depth=depth,
+                                 meter=self.meter)
+
+    def write_behind(self, write_fn: Callable[[Any], None], *,
+                     depth: int = DEFAULT_DEPTH) -> "WriteBehind":
+        """A :class:`WriteBehind` sink over ``write_fn`` (serial: inline)."""
+        return WriteBehind(write_fn, depth=depth,
+                           serial=not self.parallel, meter=self.meter)
+
+
+class PrefetchingSource:
+    """Read-ahead wrapper over a chunk source (``read(n) -> ndarray``).
+
+    A dedicated producer thread reads fixed ``chunk_records`` windows into
+    a bounded buffer while the consumer merges the previous window — the
+    paper's "next block is read while the device sorts the current one".
+    Byte order is untouched; only the read *timing* changes. The producer
+    exits when the underlying source is exhausted, which always happens
+    before the consumer observes exhaustion, so closing the underlying
+    reader afterwards is race-free.
+    """
+
+    def __init__(self, source, chunk_records: int, *,
+                 depth: int = DEFAULT_DEPTH, meter: EventMeter | None = None):
+        if chunk_records < 1:
+            raise ConfigError("chunk_records must be >= 1")
+        self._buffer: queue.Queue = queue.Queue(maxsize=max(1, depth))
+        self._dtype = getattr(source, "dtype", None)
+        self._leftover: np.ndarray | None = None
+        self._done = False
+        self._error: BaseException | None = None
+        self._meter = meter
+
+        def produce() -> None:
+            try:
+                while True:
+                    begin = time.perf_counter()
+                    chunk = source.read(chunk_records)
+                    if meter is not None:
+                        meter.bump("par_busy_s", time.perf_counter() - begin)
+                    if chunk.shape[0] == 0:
+                        self._buffer.put(_DONE)
+                        return
+                    self._buffer.put(chunk)
+            except BaseException as exc:  # noqa: BLE001 — relayed to consumer
+                self._error = exc
+                self._buffer.put(_DONE)
+
+        self._thread = threading.Thread(target=produce, name="repro-read-ahead",
+                                        daemon=True)
+        self._thread.start()
+
+    def _next_chunk(self) -> np.ndarray | None:
+        if self._done:
+            return None
+        begin = time.perf_counter()
+        chunk = self._buffer.get()
+        if self._meter is not None:
+            self._meter.bump("par_wait_s", time.perf_counter() - begin)
+        if chunk is _DONE:
+            self._done = True
+            self._thread.join()
+            if self._error is not None:
+                raise self._error
+            return None
+        return chunk
+
+    def read(self, n: int) -> np.ndarray:
+        """Consume up to ``n`` records (empty array at end of stream)."""
+        parts: list[np.ndarray] = []
+        have = 0
+        if self._leftover is not None:
+            parts.append(self._leftover)
+            have = self._leftover.shape[0]
+            self._leftover = None
+        while have < n:
+            chunk = self._next_chunk()
+            if chunk is None:
+                break
+            parts.append(chunk)
+            have += chunk.shape[0]
+        if not parts:
+            return self._empty()
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        if merged.shape[0] > n:
+            self._leftover = merged[n:]
+            merged = merged[:n]
+        return merged
+
+    def _empty(self) -> np.ndarray:
+        # The end-of-stream array keeps the source dtype when it is known
+        # (dtype matters to downstream concatenations).
+        if self._dtype is not None:
+            return np.empty(0, dtype=self._dtype)
+        return np.empty(0)
+
+
+class WriteBehind:
+    """A background writer draining an ordered queue into ``write_fn``.
+
+    ``put()`` enqueues and returns immediately (blocking only when the
+    bounded buffer is full); a dedicated writer thread applies
+    ``write_fn`` in queue order, so output bytes are identical to inline
+    writes. A writer-side exception is latched: ``put()`` raises it at
+    the next call, the writer keeps draining (discarding) so no producer
+    ever deadlocks, and :meth:`close` re-raises it — closing is the
+    *commit point* a caller must reach before trusting the file.
+    """
+
+    def __init__(self, write_fn: Callable[[Any], None], *,
+                 depth: int = DEFAULT_DEPTH, serial: bool = False,
+                 meter: EventMeter | None = None):
+        self._write_fn = write_fn
+        self._serial = serial
+        self._meter = meter
+        self._error: BaseException | None = None
+        self._closed = False
+        if serial:
+            return
+        self._queue: queue.Queue = queue.Queue(maxsize=max(1, depth))
+        self._thread = threading.Thread(target=self._drain,
+                                        name="repro-write-behind", daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _DONE:
+                return
+            if self._error is not None:
+                continue  # keep draining so put() never blocks forever
+            begin = time.perf_counter()
+            try:
+                self._write_fn(item)
+            except BaseException as exc:  # noqa: BLE001 — re-raised on close
+                self._error = exc
+            finally:
+                if self._meter is not None:
+                    self._meter.bump("par_busy_s",
+                                     time.perf_counter() - begin)
+
+    def put(self, item: Any) -> None:
+        """Enqueue one write (serial mode: write inline)."""
+        if self._closed:
+            raise ConfigError("WriteBehind.put after close")
+        if self._error is not None:
+            self._raise_deferred()
+        if self._serial:
+            self._write_fn(item)
+            return
+        begin = time.perf_counter()
+        self._queue.put(item)
+        if self._meter is not None:
+            self._meter.bump("par_wait_s", time.perf_counter() - begin)
+
+    def close(self) -> None:
+        """Flush the queue, join the writer, re-raise any deferred error."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._serial:
+            begin = time.perf_counter()
+            self._queue.put(_DONE)
+            self._thread.join()
+            if self._meter is not None:
+                self._meter.bump("par_wait_s", time.perf_counter() - begin)
+        if self._error is not None:
+            self._raise_deferred()
+
+    def _raise_deferred(self) -> None:
+        error, self._error = self._error, None
+        raise error
+
+    def __enter__(self) -> "WriteBehind":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+            return
+        # The body already failed: still stop the writer thread, but do not
+        # let a deferred write error mask the original exception.
+        try:
+            self.close()
+        except BaseException:  # noqa: BLE001 — body exception wins
+            pass

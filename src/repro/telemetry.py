@@ -16,6 +16,7 @@ and the I/O accountant; the pipeline only talks to this module.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Protocol
@@ -62,6 +63,19 @@ class PhaseStats:
         """Modeled (simulated-hardware) seconds accrued during the phase."""
         return self.counters.get("sim_seconds", 0.0)
 
+    @property
+    def overlap_saved_s(self) -> float:
+        """Wall seconds the pipelined overlap removed during this phase.
+
+        Background work (worker tasks, read-ahead, write-behind) ran for
+        ``par_busy_s`` seconds; the caller thread only *blocked* on it for
+        ``par_wait_s``. A serialized schedule would have paid the full
+        busy time on the critical path, so the difference is the saving.
+        Zero in serial mode (the counters never move).
+        """
+        return max(0.0, self.counters.get("par_busy_s", 0.0)
+                   - self.counters.get("par_wait_s", 0.0))
+
     def merged_with(self, other: "PhaseStats") -> "PhaseStats":
         """Combine two phases of the same name (times add, peaks max)."""
         merged = PhaseStats(self.name, self.wall_seconds + other.wall_seconds)
@@ -76,6 +90,8 @@ class PhaseStats:
         parts = [f"{self.name}: wall={format_duration(self.wall_seconds)}"]
         if "sim_seconds" in self.counters:
             parts.append(f"sim={format_duration(self.sim_seconds)}")
+        if self.overlap_saved_s > 0.0:
+            parts.append(f"overlap_saved={format_duration(self.overlap_saved_s)}")
         for key in ("disk_read_bytes", "disk_write_bytes"):
             if self.counters.get(key):
                 parts.append(f"{key.split('_')[1]}={format_size(self.counters[key])}")
@@ -88,21 +104,26 @@ class EventMeter:
     """A dict-backed :class:`Meter` for sparse event counters.
 
     Sources that are not memory pools or clocks — e.g. the fault-injection
-    plan counting injected faults and instrumented I/O operations — bump
-    named counters here and register the meter like any other, so per-phase
-    deltas (faults injected during *sort* vs *reduce*) come for free.
+    plan counting injected faults and instrumented I/O operations, or the
+    pipelined executor counting busy/wait seconds — bump named counters
+    here and register the meter like any other, so per-phase deltas
+    (faults injected during *sort* vs *reduce*) come for free. Bumps are
+    lock-protected: executor worker threads update concurrently.
     """
 
     def __init__(self) -> None:
         self._counts: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def bump(self, key: str, amount: float = 1.0) -> None:
         """Increase counter ``key`` by ``amount``."""
-        self._counts[key] = self._counts.get(key, 0.0) + amount
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0.0) + amount
 
     def counters(self) -> Mapping[str, float]:
         """Monotonically increasing event totals."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def peaks(self) -> Mapping[str, float]:
         """Event meters expose no gauges."""

@@ -1,0 +1,115 @@
+"""Worker-count determinism: parallel runs are byte-identical to serial.
+
+The pipelined executor promises that ``workers`` is an execution-only knob:
+partition files, sorted runs and the reduced graph must be byte-for-byte
+identical for any worker count. These tests run map → sort → reduce on
+three different simulated genomes under ``workers ∈ {1, 2, 4}`` (with
+cramped block budgets so the external sort really forms and merges multiple
+runs) and compare every artifact.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.config import AssemblyConfig, MemoryConfig, default_workers
+from repro.core.context import RunContext
+from repro.core.map_phase import run_map
+from repro.core.reduce_phase import run_reduce
+from repro.core.sort_phase import run_sort
+from repro.errors import ConfigError
+from repro.seq.datasets import tiny_dataset
+from repro.seq.packing import PackedReadStore
+
+WORKER_COUNTS = (1, 2, 4)
+GENOME_SEEDS = (3, 11, 29)
+
+
+def _config(workers: int) -> AssemblyConfig:
+    # Cramped blocks force multi-run sorts with real merge rounds, so the
+    # read-ahead / write-behind paths are genuinely exercised.
+    return AssemblyConfig(min_overlap=25, workers=workers,
+                          memory=MemoryConfig(64 << 20, 1 << 20),
+                          host_block_pairs=500, device_block_pairs=128)
+
+
+def _file_hashes(directory) -> dict[str, str]:
+    return {p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+            for p in sorted(directory.iterdir()) if p.is_file()}
+
+
+def _run_pipeline(md, workdir, workers: int):
+    """map → sort → reduce; returns (map hashes, sort hashes, graph arrays)."""
+    ctx = RunContext(_config(workers), workdir=workdir)
+    try:
+        with PackedReadStore.open(md.store_path) as store:
+            partitions, _ = run_map(ctx, store)
+            map_hashes = _file_hashes(ctx.workdir / "partitions")
+            run_sort(ctx, partitions)
+            sort_hashes = _file_hashes(ctx.workdir / "partitions")
+            graph, _ = run_reduce(ctx, partitions, store)
+            arrays = (graph.target.copy(), graph.overlap.copy(),
+                      graph.in_degree.copy())
+    finally:
+        ctx.cleanup()
+    return map_hashes, sort_hashes, arrays
+
+
+@pytest.mark.parametrize("seed", GENOME_SEEDS)
+def test_worker_count_is_invisible_in_artifacts(tmp_path, seed):
+    md, _ = tiny_dataset(tmp_path / "data", genome_length=2000, read_length=50,
+                         coverage=20.0, min_overlap=25, seed=seed)
+    baseline = _run_pipeline(md, tmp_path / "w1", workers=1)
+    for workers in WORKER_COUNTS[1:]:
+        candidate = _run_pipeline(md, tmp_path / f"w{workers}", workers=workers)
+        assert candidate[0] == baseline[0], "partition files differ"
+        assert candidate[1] == baseline[1], "sorted runs differ"
+        for ours, theirs in zip(candidate[2], baseline[2]):
+            assert np.array_equal(ours, theirs), "graph arrays differ"
+
+
+def test_multiple_sorted_runs_were_formed(tmp_path):
+    """Guard the fixture: the cramped budget must force a real merge."""
+    md, _ = tiny_dataset(tmp_path / "data", genome_length=2000, read_length=50,
+                         coverage=20.0, min_overlap=25, seed=GENOME_SEEDS[0])
+    ctx = RunContext(_config(4), workdir=tmp_path / "work")
+    try:
+        with PackedReadStore.open(md.store_path) as store:
+            partitions, _ = run_map(ctx, store)
+            report = run_sort(ctx, partitions)
+        assert any(r.initial_runs > 1 and r.merge_rounds >= 1
+                   for r in report.reports.values())
+    finally:
+        ctx.cleanup()
+
+
+class TestWorkersConfig:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert default_workers() == 4
+        assert AssemblyConfig(min_overlap=25).workers == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigError):
+            default_workers()
+
+    def test_zero_means_auto(self):
+        config = AssemblyConfig(min_overlap=25, workers=0)
+        assert config.resolved_workers() >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            AssemblyConfig(min_overlap=25, workers=-1)
+
+    def test_workers_excluded_from_fingerprint(self):
+        from repro.core.checkpoint import config_fingerprint
+
+        one = config_fingerprint(_config(1), "src")
+        four = config_fingerprint(_config(4), "src")
+        assert one == four
