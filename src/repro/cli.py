@@ -46,12 +46,17 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
 
     memory = MemoryConfig(parse_size(args.host_mem), parse_size(args.device_mem))
     extra = {} if args.workers is None else {"workers": args.workers}
+    if args.trace:
+        extra["trace"] = args.trace
     config = AssemblyConfig(min_overlap=args.min_overlap, memory=memory,
                             device_name=args.device, fingerprint_lanes=args.lanes,
                             **extra)
     result = Assembler(config).assemble(args.reads, workdir=args.workdir,
                                         resume=args.resume, gfa_path=args.gfa)
     print(result.summary())
+    if args.trace:
+        print(f"wrote span trace to {args.trace} "
+              f"(load trace.json at chrome://tracing or ui.perfetto.dev)")
     if args.output:
         written = result.write_fasta(args.output, min_length=args.min_contig)
         print(f"wrote {written} contigs to {args.output}")
@@ -116,7 +121,7 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
 
     memory = MemoryConfig(parse_size(args.host_mem), parse_size(args.device_mem))
     config = AssemblyConfig(min_overlap=args.min_overlap, memory=memory,
-                            device_name=args.device)
+                            device_name=args.device, trace=args.trace)
     source = args.reads
     if not str(source).endswith(".lsgr"):
         # The simulated cluster's shared input store is packed; convert first.
@@ -148,6 +153,8 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
                     ((f"contig.{i} length={len(c)}", decode(c))
                      for i, c in enumerate(result.contigs)))
         print(f"wrote contigs to {args.output}")
+    if args.trace:
+        print(f"wrote span trace to {args.trace}")
     return 0
 
 
@@ -232,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--workers", type=int, default=None,
                      help="pipeline worker threads (1=serial, 0=auto; "
                           "default: REPRO_WORKERS or 1)")
+    asm.add_argument("--trace", metavar="PATH", default="",
+                     help="dump a span trace (JSONL + Perfetto JSON) into "
+                          "this directory")
     asm.add_argument("--workdir")
     asm.add_argument("--resume", action="store_true",
                      help="continue a prior interrupted run (needs --workdir)")
@@ -263,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
     distributed.add_argument("--host-mem", default="1 GB")
     distributed.add_argument("--device-mem", default="96 MB")
     distributed.add_argument("--device", default="K20X")
+    distributed.add_argument("--trace", metavar="PATH", default="",
+                             help="dump a cluster-wide span trace (one track "
+                                  "per node) into this directory")
     distributed.set_defaults(func=_cmd_distributed)
 
     model = sub.add_parser("model", help="analytic paper-scale phase times")

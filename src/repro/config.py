@@ -154,6 +154,14 @@ class AssemblyConfig:
         from ``os.cpu_count()``. Output is byte-identical for every value
         — only wall-clock changes — and an armed fault plan always forces
         serial execution.
+    trace:
+        Directory to dump a structured span trace into ("" = tracing off,
+        the default). When set, the run records begin/end events for every
+        phase, executor lane, external-merge round and distributed node
+        against both the wall clock and the simulated clock, and writes an
+        event log plus Chrome/Perfetto trace JSON there (see
+        :mod:`repro.trace`). Purely observational: does not affect output
+        or the checkpoint fingerprint.
     seed:
         Seed for fingerprint parameter choice; fixed for reproducibility.
     """
@@ -171,6 +179,7 @@ class AssemblyConfig:
     dedupe_contigs: bool = True
     keep_workdir: bool = False
     workers: int = field(default_factory=default_workers)
+    trace: str = ""
     seed: int = 0x1A5A67A
 
     def __post_init__(self) -> None:

@@ -78,6 +78,9 @@ def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
     # artifacts (asserted by tests/test_parallel_determinism.py), so a
     # run may be resumed under a different REPRO_WORKERS setting.
     payload.pop("workers", None)
+    # Observation-only knob: tracing never changes artifacts, so a traced
+    # run may resume an untraced one and vice versa.
+    payload.pop("trace", None)
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest()[:16]
 

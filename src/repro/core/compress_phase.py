@@ -41,9 +41,12 @@ def run_compress(ctx: RunContext, graph: GreedyStringGraph, store: PackedReadSto
     the path table, and at paper scale graph + placement tables together
     would not fit the 64 GB host.
     """
-    paths = extract_paths(graph)
-    if ctx.config.dedupe_contigs:
-        paths = paths.deduplicated()
+    # Compress is strictly serial; both stage spans are det=True.
+    with ctx.tracer.span("compress:paths", track="pipeline", det=True) as span:
+        paths = extract_paths(graph)
+        if ctx.config.dedupe_contigs:
+            paths = paths.deduplicated()
+        span.note(paths=paths.n_paths)
 
     n_vertices = graph.n_vertices
     if release_graph:
@@ -81,8 +84,10 @@ def run_compress(ctx: RunContext, graph: GreedyStringGraph, store: PackedReadSto
     ctx.gpu.charge_elementwise(3 * total * 8)
 
     flat = np.zeros(total_bases, dtype=np.uint8)
-    with ctx.host_pool.alloc(flat.nbytes + dest_offset.nbytes + take_bases.nbytes,
-                             label="compress-contigs"):
+    with ctx.tracer.span("compress:spell", track="pipeline", det=True,
+                         bases=total_bases), \
+            ctx.host_pool.alloc(flat.nbytes + dest_offset.nbytes + take_bases.nbytes,
+                                label="compress-contigs"):
         for batch in store.iter_batches(COMPRESS_BATCH_READS):
             for orientation in (0, 1):
                 vertices = (batch.read_ids.astype(np.int64) << 1) | orientation

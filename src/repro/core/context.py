@@ -16,6 +16,7 @@ from ..faults import plan as faults
 from ..fingerprint import FingerprintScheme
 from ..parallel import PipelineExecutor
 from ..telemetry import Telemetry
+from ..trace.tracer import NULL_TRACER
 
 
 class RunContext:
@@ -27,7 +28,8 @@ class RunContext:
     """
 
     def __init__(self, config: AssemblyConfig, *, workdir: str | Path | None = None,
-                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+                 disk: DiskSpec | None = None, host: HostSpec | None = None,
+                 tracer=None):
         self.config = config
         self._owns_workdir = workdir is None
         self.workdir = Path(tempfile.mkdtemp(prefix="lasagna-")) if workdir is None \
@@ -43,11 +45,18 @@ class RunContext:
         self.host_pool = MemoryPool("host", config.memory.host_bytes, HostMemoryError)
         self.scheme = FingerprintScheme(lanes=config.fingerprint_lanes,
                                         seed=config.seed & 0xFFFF)
+        # The run's tracer view: the caller's tracer (a SpanTracer for a
+        # traced single run, a node-prefixed BoundTracer in a distributed
+        # cluster) bound to this context's simulated clock, so every span
+        # recorded below carries correct modeled timestamps.
+        self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(
+            lambda: self.clock.total_seconds)
         # The pipelined executor (workers=1 ⇒ pure serial). Output is
         # byte-identical for any worker count; an armed fault plan forces
         # serial execution at call time, whatever the config says.
-        self.executor = PipelineExecutor(config.resolved_workers())
-        self.telemetry = Telemetry()
+        self.executor = PipelineExecutor(config.resolved_workers(),
+                                         tracer=self.tracer)
+        self.telemetry = Telemetry(tracer=self.tracer)
         self.telemetry.register(self.clock)
         self.telemetry.register(self.accountant)
         self.telemetry.register(self.gpu.pool)

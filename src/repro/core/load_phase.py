@@ -39,13 +39,20 @@ def run_load(ctx: RunContext, source: str | Path | PackedReadStore) -> PackedRea
                                          on_invalid="mask")
 
     writer: PackedReadStore | None = None
-    for batch in batches:
-        if writer is None:
-            writer = PackedReadStore.create(store_path, batch.read_length, ctx.accountant)
-        if fastq_source:
-            # Model the FASTQ text traffic: sequence + quality lines + headers.
-            ctx.accountant.add_read(batch.n_reads * (2 * batch.read_length + 16))
-        writer.append_batch(batch)
+    n_reads = 0
+    # The load loop is strictly serial, so its simulated stamps are
+    # deterministic (det=True) and survive into the golden sim trace.
+    with ctx.tracer.span("load:stream", track="pipeline", det=True) as span:
+        for batch in batches:
+            if writer is None:
+                writer = PackedReadStore.create(store_path, batch.read_length,
+                                                ctx.accountant)
+            if fastq_source:
+                # Model the FASTQ text traffic: sequence + quality lines + headers.
+                ctx.accountant.add_read(batch.n_reads * (2 * batch.read_length + 16))
+            writer.append_batch(batch)
+            n_reads += batch.n_reads
+        span.note(reads=n_reads)
     if writer is None:
         raise DatasetError("input contains no reads")
     writer.close()

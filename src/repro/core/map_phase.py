@@ -153,6 +153,7 @@ def run_map(ctx: RunContext, store: PackedReadStore,
         return batch.n_reads, orientations
 
     executor = ctx.executor
+    tracer = ctx.tracer
     try:
         stream = executor.map_ordered(
             fingerprint, executor.prefetch(batches(), depth=PREFETCH_DEPTH))
@@ -161,7 +162,12 @@ def run_map(ctx: RunContext, store: PackedReadStore,
             # Modeled accounting stays on the main thread, in batch order:
             # scratch reservations, kernel charges and partition appends
             # are identical to the serial schedule for any worker count.
-            with ctx.gpu.scratch(n * per_read, label="map-batch"), \
+            # The batch span is det=False: the prefetch thread charges the
+            # accountant from read_slice, so mid-phase simulated stamps
+            # depend on the worker count.
+            with tracer.span("map:batch", track="pipeline",
+                             batch=n_batches, reads=n), \
+                    ctx.gpu.scratch(n * per_read, label="map-batch"), \
                     ctx.host_pool.alloc(n * per_read, label="map-host-buffers"):
                 for orientation, (codes_nbytes, blocks) in enumerate(orientations):
                     if orientation == 1:

@@ -71,8 +71,17 @@ class Assembler:
         """
         if resume and workdir is None:
             raise ConfigError("resume=True requires an explicit workdir")
+        tracer = None
+        if self.config.trace:
+            from ..trace.tracer import SpanTracer
+
+            tracer = SpanTracer(meta={
+                "source": _source_identity(source),
+                "workers": self.config.resolved_workers(),
+                "seed": self.config.seed,
+            })
         ctx = RunContext(self.config, workdir=workdir, disk=self.disk,
-                         host=self.host)
+                         host=self.host, tracer=tracer)
         manager = CheckpointManager(
             ctx.workdir, config_fingerprint(self.config, _source_identity(source))
         ) if resume else None
@@ -80,6 +89,11 @@ class Assembler:
             return self._run(ctx, source, manager, gfa_path)
         finally:
             ctx.cleanup()
+            if tracer is not None:
+                # Dump even when the run failed: a trace of a crashed run
+                # (open spans, error-tagged phases) is exactly what the
+                # chaos harness wants to look at.
+                tracer.write(Path(self.config.trace))
 
     # -- phase drivers -------------------------------------------------------
 

@@ -62,9 +62,15 @@ def run_reduce(ctx: RunContext, partitions: PartitionStore, store: PackedReadSto
         if not (s_path.exists() and p_path.exists()):
             continue
         edges_before = graph.n_edges
-        with RunReader(s_path, partitions.dtype, ctx.accountant) as suffixes, \
-                RunReader(p_path, partitions.dtype, ctx.accountant) as prefixes:
-            reduce_partition(ctx, graph, suffixes, prefixes, length, window, report)
+        # The reduce loop is strictly serial, so per-partition spans carry
+        # deterministic simulated stamps (det=True).
+        with ctx.tracer.span("reduce:partition", track="pipeline", det=True,
+                             length=length) as span:
+            with RunReader(s_path, partitions.dtype, ctx.accountant) as suffixes, \
+                    RunReader(p_path, partitions.dtype, ctx.accountant) as prefixes:
+                reduce_partition(ctx, graph, suffixes, prefixes, length, window,
+                                 report)
+            span.note(edges=(graph.n_edges - edges_before) // 2)
         report.partitions_processed += 1
         report.per_length_edges[length] = (graph.n_edges - edges_before) // 2
     report.edges_added = graph.n_edges

@@ -13,7 +13,7 @@ from ..seq.alphabet import decode
 from ..seq.fastq import write_fasta
 from ..seq.stats import assembly_stats
 from ..graph.traverse import PathSet
-from ..telemetry import Telemetry
+from ..telemetry import Telemetry, overlap_saved_s
 from .compress_phase import ContigSet
 from .map_phase import MapReport
 from .reduce_phase import ReduceReport
@@ -96,7 +96,8 @@ class AssemblyResult:
             "par_tasks": int(tasks),
             "par_busy_s": busy,
             "par_wait_s": wait,
-            "overlap_saved_s": max(0.0, busy - wait),
+            "overlap_saved_s": overlap_saved_s(
+                {"par_busy_s": busy, "par_wait_s": wait}),
             "utilization": (busy / (wall * workers)) if wall > 0 else 0.0,
         }
 

@@ -40,7 +40,7 @@ def make_sorter(ctx: RunContext, dtype) -> ExternalSorter:
                           accountant=ctx.accountant, dtype=dtype,
                           host_block_pairs=m_h, device_block_pairs=m_d,
                           merge_fanout=ctx.config.merge_fanout,
-                          executor=ctx.executor)
+                          executor=ctx.executor, tracer=ctx.tracer)
 
 
 def run_sort(ctx: RunContext, partitions: PartitionStore) -> SortPhaseReport:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -40,6 +41,7 @@ from ..graph import GreedyStringGraph
 from ..graph.contigs import ContigSet
 from ..seq.packing import PackedReadStore
 from ..seq.stats import assembly_stats
+from ..trace.tracer import NULL_TRACER, SpanTracer
 from .message import ActiveMessageLayer
 from .network import NetworkSpec
 from .node import WorkerNode
@@ -108,6 +110,20 @@ class DistributedAssembler:
                     for node, b in zip(nodes, before)]
         return max(per_node), per_node
 
+    @staticmethod
+    def _cluster_span(tracer, name: str, wall0: float, sim0: float,
+                      seconds: float, **args) -> None:
+        """One span on the ``cluster`` track covering a phase's critical path.
+
+        The simulated extent is the *modeled* one — from the common
+        post-barrier start to start + the phase's critical-path seconds —
+        so the cluster track tiles exactly like Fig. 10's stacked bars.
+        """
+        if tracer.enabled:
+            tracer.complete(name, wall0, time.perf_counter(), track="cluster",
+                            cat="cluster", det=True, sim0=sim0,
+                            sim1=sim0 + seconds, **args)
+
     # -- the run -------------------------------------------------------------
 
     def assemble(self, source: str | Path | PackedReadStore, *,
@@ -123,9 +139,26 @@ class DistributedAssembler:
                 shutil.rmtree(root, ignore_errors=True)
 
     def _assemble(self, source, root: Path) -> DistributedResult:
+        tracer = None
+        if self.config.trace:
+            tracer = SpanTracer(meta={"mode": "distributed",
+                                      "n_nodes": self.n_nodes,
+                                      "workers": self.config.resolved_workers(),
+                                      "seed": self.config.seed})
+        try:
+            return self._run(source, root, tracer)
+        finally:
+            # Dump even when a phase raised — a trace of a failed run is
+            # exactly what the chaos harness wants to look at.
+            if tracer is not None:
+                tracer.write(Path(self.config.trace))
+
+    def _run(self, source, root: Path,
+             tracer: SpanTracer | None) -> DistributedResult:
         messages = ActiveMessageLayer(self.network)
+        ctracer = tracer if tracer is not None else NULL_TRACER
         nodes = [WorkerNode(i, self.config, root, messages,
-                            disk=self.disk, host=self.host)
+                            disk=self.disk, host=self.host, tracer=tracer)
                  for i in range(self.n_nodes)]
         store = source if isinstance(source, PackedReadStore) \
             else PackedReadStore.open(source)
@@ -134,6 +167,7 @@ class DistributedAssembler:
 
         # -- map: master hands blocks to the least-loaded node ---------------
         before = self._clock_totals(nodes)
+        wall0 = time.perf_counter()
         n_blocks = max(1, self.n_nodes * BLOCKS_PER_NODE)
         block_reads = -(-store.n_reads // n_blocks)
         for start in range(0, store.n_reads, block_reads):
@@ -142,10 +176,13 @@ class DistributedAssembler:
         for node in nodes:
             node.finish_map()
         phase_seconds["map"], per_node_seconds["map"] = self._phase_delta(nodes, before)
+        self._cluster_span(ctracer, "map", wall0, max(before),
+                           phase_seconds["map"], blocks=n_blocks)
         self._barrier(nodes)
 
         # -- shuffle: all-to-all partition aggregation ------------------------
         before = self._clock_totals(nodes)
+        wall0 = time.perf_counter()
         lengths = list(overlap_lengths(nodes[0].ctx, store.read_length))
         owner_of = {length: (length - lengths[0]) % self.n_nodes for length in lengths}
         shuffle_bytes = 0
@@ -156,29 +193,42 @@ class DistributedAssembler:
             node.drop_map_partitions()
         phase_seconds["shuffle"], per_node_seconds["shuffle"] = \
             self._phase_delta(nodes, before)
+        self._cluster_span(ctracer, "shuffle", wall0, max(before),
+                           phase_seconds["shuffle"], bytes=shuffle_bytes)
         self._barrier(nodes)
 
         # -- sort: local per-node external sorts --------------------------------
         before = self._clock_totals(nodes)
+        wall0 = time.perf_counter()
         for node in nodes:
             node.sort_owned()
         phase_seconds["sort"], per_node_seconds["sort"] = self._phase_delta(nodes, before)
+        self._cluster_span(ctracer, "sort", wall0, max(before),
+                           phase_seconds["sort"])
         self._barrier(nodes)
 
         # -- reduce: parallel overlap finding, token-serialized edges ------------
-        reduce_result = self._reduce(nodes, store, lengths, owner_of)
+        reduce_start = max(self._clock_totals(nodes))
+        wall0 = time.perf_counter()
+        reduce_result = self._reduce(nodes, store, lengths, owner_of,
+                                     tracer=ctracer)
         graph, reduce_report, reduce_time, reduce_per_node, token_trace = \
             reduce_result
         phase_seconds["reduce"] = reduce_time
         per_node_seconds["reduce"] = reduce_per_node
+        self._cluster_span(ctracer, "reduce", wall0, reduce_start, reduce_time,
+                           partitions=reduce_report.partitions_processed)
         self._barrier(nodes)
 
         # -- compress: on the master --------------------------------------------
         master = nodes[0]
         before = self._clock_totals(nodes)
+        wall0 = time.perf_counter()
         contigs, _paths = run_compress(master.ctx, graph, store)
         phase_seconds["compress"], per_node_seconds["compress"] = \
             self._phase_delta(nodes, before)
+        self._cluster_span(ctracer, "compress", wall0, max(before),
+                           phase_seconds["compress"])
 
         edges = graph.n_edges
         graph.release()
@@ -200,7 +250,8 @@ class DistributedAssembler:
         return result
 
     def _reduce(self, nodes: list[WorkerNode], store: PackedReadStore,
-                lengths: list[int], owner_of: dict[int, int],
+                lengths: list[int], owner_of: dict[int, int], *,
+                tracer=NULL_TRACER,
                 ) -> tuple[GreedyStringGraph, ReduceReport, float, list[float],
                            tuple[dict, ...]]:
         """Token-serialized distributed reduce.
@@ -236,6 +287,7 @@ class DistributedAssembler:
             window = max(1, m_d // REDUCE_WINDOW_DIVISOR)
             for attempt in (0, 1):
                 host_before = node.ctx.clock.seconds("host")
+                attempt_wall = time.perf_counter()
                 try:
                     with RunReader(s_path, node.dtype,
                                    node.ctx.accountant) as suffixes, \
@@ -247,6 +299,12 @@ class DistributedAssembler:
                     faults.clear_crash()
                     token_trace.append({"length": length, "node": node.node_id,
                                         "attempt": attempt, "ok": False})
+                    if tracer.enabled:
+                        tracer.instant("token-retry", track="cluster",
+                                       cat="reduce", det=True,
+                                       sim_at=node.ctx.clock.total_seconds,
+                                       length=length, node=node.node_id,
+                                       attempt=attempt)
                     if attempt:
                         raise DistributedProtocolError(
                             f"reduce token lost: node {node.node_id} failed "
@@ -257,7 +315,17 @@ class DistributedAssembler:
                 report.partitions_processed += 1
                 t_graph = node.ctx.clock.seconds("host") - host_before
                 find_done = node.ctx.clock.total_seconds - t_graph
-                token_time = max(token_time + bitvec_transfer, find_done) + t_graph
+                # The node holds the token from the instant it both received
+                # the bit-vector and finished overlap finding, until its
+                # edge insertions are folded in (t_g).
+                token_hold = max(token_time + bitvec_transfer, find_done)
+                token_time = token_hold + t_graph
+                if tracer.enabled:
+                    tracer.complete("token", attempt_wall, time.perf_counter(),
+                                    track="cluster", cat="reduce", det=True,
+                                    sim0=token_hold, sim1=token_time,
+                                    length=length, node=node.node_id,
+                                    attempt=attempt)
                 break
         report.edges_added = graph.n_edges
         reduce_time = token_time - phase_start

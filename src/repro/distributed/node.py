@@ -21,6 +21,7 @@ from ..device.specs import DiskSpec, HostSpec
 from ..extmem import PartitionStore, RunReader, RunWriter
 from ..extmem.records import kv_dtype
 from ..seq.packing import PackedReadStore
+from ..trace.tracer import NULL_TRACER
 from .message import ActiveMessageLayer
 
 #: AM handler name for pulling a map-phase partition piece from a peer.
@@ -32,10 +33,16 @@ class WorkerNode:
 
     def __init__(self, node_id: int, config: AssemblyConfig, root: Path,
                  messages: ActiveMessageLayer, *,
-                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+                 disk: DiskSpec | None = None, host: HostSpec | None = None,
+                 tracer=None):
         self.node_id = node_id
+        # All of this node's spans land on "nodeNN/..." tracks of the shared
+        # cluster tracer, stamped against this node's own simulated clock
+        # (the RunContext binds the clock on top of the prefix).
+        node_tracer = (tracer if tracer is not None else NULL_TRACER).bind(
+            prefix=f"node{node_id:02d}/")
         self.ctx = RunContext(config, workdir=root / f"node{node_id:02d}",
-                              disk=disk, host=host)
+                              disk=disk, host=host, tracer=node_tracer)
         self.messages = messages
         self.dtype = kv_dtype(config.fingerprint_lanes)
         self.map_partitions = PartitionStore(self.ctx.workdir / "map_parts",

@@ -53,6 +53,10 @@ class DistributedProtocolError(ReproError):
     """A node violated the distributed pipeline's message protocol."""
 
 
+class TraceError(ReproError):
+    """A span trace is malformed (unbalanced events, bad Perfetto JSON)."""
+
+
 class FaultInjected(ReproError):
     """A scheduled chaos fault fired (simulated crash, torn write, …).
 

@@ -33,6 +33,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from ..errors import ConfigError, SortContractError
+from ..trace.tracer import NULL_TRACER
 from .records import KEY_FIELD
 
 MergeFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -76,7 +77,7 @@ def _tournament_fold(parts: list[np.ndarray], merge_fn: MergeFn) -> np.ndarray:
 def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
                     window_records: int, merge_fn: MergeFn | None = None,
                     merge_fn_k: MergeKFn | None = None,
-                    key_field: str = KEY_FIELD) -> int:
+                    key_field: str = KEY_FIELD, tracer=NULL_TRACER) -> int:
     """Fanout-k Algorithm 1; returns the number of records emitted.
 
     ``window_records`` is ``M/k`` — the per-run window size; the merge
@@ -84,6 +85,9 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
     window_records`` records. ``merge_fn_k`` merges the equalized window
     prefixes in one shot when provided; otherwise the binary ``merge_fn``
     is folded over them pairwise. At least one executor is required.
+    ``tracer`` records a span per equalized-window merge (and an instant
+    per pass-through window); only the level-1 disk merge passes a real
+    one — the inner level-2 merges would flood the event log.
     """
     if window_records < 1:
         raise ConfigError("window_records must be >= 1")
@@ -148,6 +152,9 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
             (i for i in active
              if all(tails[i] <= heads[j] for j in active if j != i)), None)
         if passthrough is not None:
+            if tracer.enabled:
+                tracer.instant("merge-passthrough", track="merge",
+                               records=int(bufs[passthrough].shape[0]))
             _emit(bufs[passthrough])
             bufs[passthrough] = empty
             continue
@@ -161,7 +168,14 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
             if rank:
                 parts.append(bufs[i][:rank])
                 bufs[i] = bufs[i][rank:]
-        _emit(_merge_parts(parts))
+        # det=False: under write-behind the window's simulated midpoint
+        # depends on how far the background writer has drained.
+        if tracer.enabled:
+            with tracer.span("merge-window", track="merge", ways=len(parts),
+                             records=int(sum(p.shape[0] for p in parts))):
+                _emit(_merge_parts(parts))
+        else:
+            _emit(_merge_parts(parts))
 
 
 def merge_streams(source_a: ChunkSource, source_b: ChunkSource, emit: EmitFn, *,
@@ -211,14 +225,15 @@ def merge_in_memory(records_a: np.ndarray, records_b: np.ndarray, *,
 def merge_runs_k(readers: Sequence[ChunkSource], writer, *,
                  window_records: int, merge_fn: MergeFn | None = None,
                  merge_fn_k: MergeKFn | None = None,
-                 key_field: str = KEY_FIELD) -> int:
+                 key_field: str = KEY_FIELD, tracer=NULL_TRACER) -> int:
     """Fanout-k Algorithm 1 over on-disk runs; appends to an open RunWriter.
 
     This is the *first level*: disk runs merged through host memory.
     """
     return merge_streams_k(readers, writer.append,
                            window_records=window_records, merge_fn=merge_fn,
-                           merge_fn_k=merge_fn_k, key_field=key_field)
+                           merge_fn_k=merge_fn_k, key_field=key_field,
+                           tracer=tracer)
 
 
 def merge_runs(reader_a, reader_b, writer, *, window_records: int,

@@ -41,6 +41,7 @@ from ..device.memory import MemoryPool
 from ..errors import ConfigError
 from ..faults import plan as faults
 from ..parallel import PipelineExecutor
+from ..trace.tracer import NULL_TRACER
 from .io_stats import IOAccountant
 from .merge import merge_in_memory_k, merge_streams_k
 from .records import KEY_FIELD
@@ -118,7 +119,7 @@ class ExternalSorter:
                  accountant: IOAccountant | None, dtype: np.dtype,
                  host_block_pairs: int, device_block_pairs: int,
                  merge_fanout: int = 2, key_field: str = KEY_FIELD,
-                 executor: PipelineExecutor | None = None):
+                 executor: PipelineExecutor | None = None, tracer=None):
         if host_block_pairs < 2 or device_block_pairs < 2:
             raise ConfigError("block sizes must be >= 2 records")
         if merge_fanout < 0 or merge_fanout == 1:
@@ -129,6 +130,7 @@ class ExternalSorter:
         #: Pipelined execution (read-ahead, ordered block sorting, write-
         #: behind); the default is the serial single-worker executor.
         self.executor = executor if executor is not None else PipelineExecutor(1)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dtype = np.dtype(dtype)
         self.key_field = key_field
         self.m_h = host_block_pairs
@@ -252,7 +254,14 @@ class ExternalSorter:
         scratch_dir = out_path.parent / (out_path.name + ".scratch")
         scratch_dir.mkdir(parents=True, exist_ok=True)
         try:
-            return self._sort_into(in_path, out_path, scratch_dir)
+            # det=True: sort_file begins and ends with all background work
+            # drained (write-behind closed, map_ordered fully consumed).
+            with self.tracer.span(f"sort:{out_path.name}", track="sort",
+                                  det=True) as span:
+                report = self._sort_into(in_path, out_path, scratch_dir)
+                span.note(records=report.n_records, runs=report.initial_runs,
+                          rounds=report.merge_rounds)
+            return report
         finally:
             # A real crash never runs cleanup: when an injected crash is
             # unwinding, leave the scratch residue for recovery to face.
@@ -275,7 +284,12 @@ class ExternalSorter:
         # and two concurrent block sorts would double its (real) peak.
         run_paths: list[Path] = []
         n_records = 0
-        with RunReader(in_path, self.dtype, self.accountant) as reader:
+        # det=True at the boundaries: map_ordered is fully consumed when the
+        # span ends, so every worker charge has landed on the clock (float
+        # summation order may differ across worker counts; the sim export's
+        # nanosecond rounding swallows that).
+        with self.tracer.span("runs", track="sort", det=True) as runs_span, \
+                RunReader(in_path, self.dtype, self.accountant) as reader:
             def blocks():
                 while not reader.exhausted:
                     yield reader.read(self.host_block)
@@ -289,9 +303,14 @@ class ExternalSorter:
                                           HOST_SORT_FOOTPRINT, label="sort-block"):
                     n_records += sorted_block.shape[0]
                     run_path = scratch_dir / f"run_{len(run_paths):05d}.run"
-                    with RunWriter(run_path, self.dtype, self.accountant) as writer:
+                    # det=False: workers still sorting later blocks charge
+                    # the clock while this run is being written.
+                    with self.tracer.span("run:write", track="sort"), \
+                            RunWriter(run_path, self.dtype,
+                                      self.accountant) as writer:
                         writer.append(sorted_block)
                 run_paths.append(run_path)
+            runs_span.note(runs=len(run_paths), records=n_records)
 
         initial_runs = len(run_paths)
         if initial_runs == 0:
@@ -307,44 +326,54 @@ class ExternalSorter:
         while len(run_paths) > 1:
             merge_rounds += 1
             next_paths: list[Path] = []
-            for group_index, start in enumerate(range(0, len(run_paths),
-                                                      self.fanout)):
-                group = run_paths[start:start + self.fanout]
-                if len(group) == 1:
-                    next_paths.append(group[0])
-                    continue
-                merged_path = (scratch_dir /
-                               f"merge_{generation:03d}_{group_index:05d}.run")
-                group_records = (sum(p.stat().st_size for p in group)
-                                 // record_nbytes)
-                working = min(
-                    self.host_kway_window * HOST_KWAY_FOOTPRINT * len(group),
-                    2 * group_records) * record_nbytes
-                with self.host_pool.alloc(working, label="merge-windows"), \
-                        ExitStack() as stack:
-                    readers = [stack.enter_context(
-                        RunReader(p, self.dtype, self.accountant))
-                        for p in group]
-                    writer = stack.enter_context(
-                        RunWriter(merged_path, self.dtype, self.accountant))
-                    # Read-ahead keeps one window per input stream in
-                    # flight; write-behind overlaps the merged window's
-                    # disk write with the next device merge. Both are
-                    # order-preserving, so the merged run is byte-for-byte
-                    # the serial one. The sink closes (draining and
-                    # re-raising any deferred write error) before the
-                    # ExitStack closes the writer underneath it.
-                    sources = [executor.read_ahead(r, self.host_kway_window)
-                               for r in readers]
-                    with executor.write_behind(writer.append) as sink:
-                        merge_streams_k(sources, sink.put,
-                                        window_records=self.host_kway_window,
-                                        merge_fn=self.merge_blocks_in_host,
-                                        merge_fn_k=self.merge_windows,
-                                        key_field=self.key_field)
-                for path in group:
-                    path.unlink()
-                next_paths.append(merged_path)
+            # det=True: a round begins and ends with every background
+            # reader/writer of the previous groups drained.
+            with self.tracer.span("merge-round", track="sort", det=True,
+                                  round=merge_rounds, runs=len(run_paths)):
+                for group_index, start in enumerate(range(0, len(run_paths),
+                                                          self.fanout)):
+                    group = run_paths[start:start + self.fanout]
+                    if len(group) == 1:
+                        next_paths.append(group[0])
+                        continue
+                    merged_path = (scratch_dir /
+                                   f"merge_{generation:03d}_{group_index:05d}.run")
+                    group_records = (sum(p.stat().st_size for p in group)
+                                     // record_nbytes)
+                    working = min(
+                        self.host_kway_window * HOST_KWAY_FOOTPRINT * len(group),
+                        2 * group_records) * record_nbytes
+                    with self.tracer.span("merge-group", track="sort", det=True,
+                                          ways=len(group),
+                                          records=group_records), \
+                            self.host_pool.alloc(working, label="merge-windows"), \
+                            ExitStack() as stack:
+                        readers = [stack.enter_context(
+                            RunReader(p, self.dtype, self.accountant))
+                            for p in group]
+                        writer = stack.enter_context(
+                            RunWriter(merged_path, self.dtype, self.accountant))
+                        # Read-ahead keeps one window per input stream in
+                        # flight; write-behind overlaps the merged window's
+                        # disk write with the next device merge. Both are
+                        # order-preserving, so the merged run is byte-for-byte
+                        # the serial one. The sink closes (draining and
+                        # re-raising any deferred write error) before the
+                        # ExitStack closes the writer underneath it.
+                        sources = [
+                            executor.read_ahead(r, self.host_kway_window,
+                                                lane=f"read-ahead-{i}")
+                            for i, r in enumerate(readers)]
+                        with executor.write_behind(writer.append) as sink:
+                            merge_streams_k(sources, sink.put,
+                                            window_records=self.host_kway_window,
+                                            merge_fn=self.merge_blocks_in_host,
+                                            merge_fn_k=self.merge_windows,
+                                            key_field=self.key_field,
+                                            tracer=self.tracer)
+                    for path in group:
+                        path.unlink()
+                    next_paths.append(merged_path)
             run_paths = next_paths
             generation += 1
 

@@ -48,6 +48,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..faults import plan as faults
 from ..telemetry import EventMeter
+from ..trace.tracer import NULL_TRACER
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -57,6 +58,16 @@ _DONE = object()
 
 #: Default read-ahead / write-behind buffer depth (double buffering).
 DEFAULT_DEPTH = 2
+
+
+def _lane() -> str:
+    """The trace track for the current thread (one row per worker lane)."""
+    name = threading.current_thread().name
+    if name.startswith("repro-worker_"):
+        return "worker-" + name[len("repro-worker_"):]
+    if name.startswith("repro-"):
+        return name[len("repro-"):]
+    return "main"
 
 
 class PipelineExecutor:
@@ -71,12 +82,17 @@ class PipelineExecutor:
     overlap removed relative to a serialized schedule.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, *, tracer=None):
         workers = int(workers)
         if workers < 0:
             raise ConfigError("workers must be >= 0 (0 = auto from cpu_count)")
         self.workers = workers or (os.cpu_count() or 1)
         self.meter = EventMeter()
+        # Lifecycle spans (cat="executor", args kind=busy/wait) are
+        # recorded from the very same perf_counter stamps as the meter
+        # bumps, so trace-derived busy/wait totals reconcile exactly with
+        # the par_busy_s/par_wait_s counters.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Serializes modeled-device work (one virtual GPU, one capacity pool).
         self.device_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
@@ -136,8 +152,12 @@ class PipelineExecutor:
             try:
                 return fn(item)
             finally:
-                self.meter.bump("par_busy_s", time.perf_counter() - begin)
+                end = time.perf_counter()
+                self.meter.bump("par_busy_s", end - begin)
                 self.meter.bump("par_tasks")
+                if self.tracer.enabled:
+                    self.tracer.complete("task", begin, end, track=_lane(),
+                                         cat="executor", kind="busy")
 
         try:
             for item in items:
@@ -155,7 +175,11 @@ class PipelineExecutor:
         try:
             return future.result()
         finally:
-            self.meter.bump("par_wait_s", time.perf_counter() - begin)
+            end = time.perf_counter()
+            self.meter.bump("par_wait_s", end - begin)
+            if self.tracer.enabled:
+                self.tracer.complete("await", begin, end, track=_lane(),
+                                     cat="executor", kind="wait")
 
     # -- prefetch (double-buffered producer) ----------------------------------
 
@@ -184,7 +208,12 @@ class PipelineExecutor:
                         item = next(iterator)
                     except StopIteration:
                         break
-                    self.meter.bump("par_busy_s", time.perf_counter() - begin)
+                    end = time.perf_counter()
+                    self.meter.bump("par_busy_s", end - begin)
+                    if self.tracer.enabled:
+                        self.tracer.complete("produce", begin, end,
+                                             track=_lane(), cat="executor",
+                                             kind="busy")
                     buffer.put(item)
             except BaseException as exc:  # noqa: BLE001 — relayed to consumer
                 buffer.put((_DONE, exc))
@@ -197,7 +226,11 @@ class PipelineExecutor:
         while True:
             begin = time.perf_counter()
             item = buffer.get()
-            self.meter.bump("par_wait_s", time.perf_counter() - begin)
+            end = time.perf_counter()
+            self.meter.bump("par_wait_s", end - begin)
+            if self.tracer.enabled:
+                self.tracer.complete("get", begin, end, track=_lane(),
+                                     cat="executor", kind="wait")
             if isinstance(item, tuple) and len(item) == 2 and item[0] is _DONE:
                 thread.join()
                 if item[1] is not None:
@@ -208,18 +241,25 @@ class PipelineExecutor:
     # -- read-ahead / write-behind sinks --------------------------------------
 
     def read_ahead(self, source, chunk_records: int, *,
-                   depth: int = DEFAULT_DEPTH):
-        """Wrap a chunk source in a :class:`PrefetchingSource` (serial: as-is)."""
+                   depth: int = DEFAULT_DEPTH, lane: str = "read-ahead"):
+        """Wrap a chunk source in a :class:`PrefetchingSource` (serial: as-is).
+
+        ``lane`` names the trace track; several concurrent read-ahead
+        sources (the k-way merge inputs) pass distinct lanes so each gets
+        its own timeline row.
+        """
         if not self.parallel:
             return source
         return PrefetchingSource(source, chunk_records, depth=depth,
-                                 meter=self.meter)
+                                 meter=self.meter, tracer=self.tracer,
+                                 lane=lane)
 
     def write_behind(self, write_fn: Callable[[Any], None], *,
                      depth: int = DEFAULT_DEPTH) -> "WriteBehind":
         """A :class:`WriteBehind` sink over ``write_fn`` (serial: inline)."""
         return WriteBehind(write_fn, depth=depth,
-                           serial=not self.parallel, meter=self.meter)
+                           serial=not self.parallel, meter=self.meter,
+                           tracer=self.tracer)
 
 
 class PrefetchingSource:
@@ -235,7 +275,8 @@ class PrefetchingSource:
     """
 
     def __init__(self, source, chunk_records: int, *,
-                 depth: int = DEFAULT_DEPTH, meter: EventMeter | None = None):
+                 depth: int = DEFAULT_DEPTH, meter: EventMeter | None = None,
+                 tracer=None, lane: str = "read-ahead"):
         if chunk_records < 1:
             raise ConfigError("chunk_records must be >= 1")
         self._buffer: queue.Queue = queue.Queue(maxsize=max(1, depth))
@@ -244,14 +285,21 @@ class PrefetchingSource:
         self._done = False
         self._error: BaseException | None = None
         self._meter = meter
+        tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracer = tracer
 
         def produce() -> None:
             try:
                 while True:
                     begin = time.perf_counter()
                     chunk = source.read(chunk_records)
+                    end = time.perf_counter()
                     if meter is not None:
-                        meter.bump("par_busy_s", time.perf_counter() - begin)
+                        meter.bump("par_busy_s", end - begin)
+                    if tracer.enabled:
+                        tracer.complete("read", begin, end, track=lane,
+                                        cat="executor", kind="busy",
+                                        records=int(chunk.shape[0]))
                     if chunk.shape[0] == 0:
                         self._buffer.put(_DONE)
                         return
@@ -269,8 +317,12 @@ class PrefetchingSource:
             return None
         begin = time.perf_counter()
         chunk = self._buffer.get()
+        end = time.perf_counter()
         if self._meter is not None:
-            self._meter.bump("par_wait_s", time.perf_counter() - begin)
+            self._meter.bump("par_wait_s", end - begin)
+        if self._tracer.enabled:
+            self._tracer.complete("read-wait", begin, end, track=_lane(),
+                                  cat="executor", kind="wait")
         if chunk is _DONE:
             self._done = True
             self._thread.join()
@@ -323,10 +375,11 @@ class WriteBehind:
 
     def __init__(self, write_fn: Callable[[Any], None], *,
                  depth: int = DEFAULT_DEPTH, serial: bool = False,
-                 meter: EventMeter | None = None):
+                 meter: EventMeter | None = None, tracer=None):
         self._write_fn = write_fn
         self._serial = serial
         self._meter = meter
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._error: BaseException | None = None
         self._closed = False
         if serial:
@@ -349,9 +402,12 @@ class WriteBehind:
             except BaseException as exc:  # noqa: BLE001 — re-raised on close
                 self._error = exc
             finally:
+                end = time.perf_counter()
                 if self._meter is not None:
-                    self._meter.bump("par_busy_s",
-                                     time.perf_counter() - begin)
+                    self._meter.bump("par_busy_s", end - begin)
+                if self._tracer.enabled:
+                    self._tracer.complete("write", begin, end, track=_lane(),
+                                          cat="executor", kind="busy")
 
     def put(self, item: Any) -> None:
         """Enqueue one write (serial mode: write inline)."""
@@ -364,8 +420,12 @@ class WriteBehind:
             return
         begin = time.perf_counter()
         self._queue.put(item)
+        end = time.perf_counter()
         if self._meter is not None:
-            self._meter.bump("par_wait_s", time.perf_counter() - begin)
+            self._meter.bump("par_wait_s", end - begin)
+        if self._tracer.enabled:
+            self._tracer.complete("put", begin, end, track=_lane(),
+                                  cat="executor", kind="wait")
 
     def close(self) -> None:
         """Flush the queue, join the writer, re-raise any deferred error."""
@@ -376,8 +436,12 @@ class WriteBehind:
             begin = time.perf_counter()
             self._queue.put(_DONE)
             self._thread.join()
+            end = time.perf_counter()
             if self._meter is not None:
-                self._meter.bump("par_wait_s", time.perf_counter() - begin)
+                self._meter.bump("par_wait_s", end - begin)
+            if self._tracer.enabled:
+                self._tracer.complete("flush", begin, end, track=_lane(),
+                                      cat="executor", kind="wait")
         if self._error is not None:
             self._raise_deferred()
 

@@ -24,6 +24,43 @@ from typing import Iterator, Mapping, Protocol
 from .units import format_duration, format_size
 
 
+def overlap_saved_s(counters: Mapping[str, float]) -> float:
+    """Wall seconds the pipelined overlap removed, from busy/wait counters.
+
+    Background work (worker tasks, read-ahead, write-behind) ran for
+    ``par_busy_s`` seconds; the caller thread only *blocked* on it for
+    ``par_wait_s``. A serialized schedule would have paid the full busy
+    time on the critical path, so the difference is the saving. Zero in
+    serial mode (the counters never move).
+
+    This is the single definition: :attr:`PhaseStats.overlap_saved_s`,
+    ``AssemblyResult.parallelism()`` and the trace-analysis overlap
+    accounting all call it, so per-phase, aggregate and traced numbers
+    cannot drift.
+    """
+    return max(0.0, counters.get("par_busy_s", 0.0)
+               - counters.get("par_wait_s", 0.0))
+
+
+def format_metric(key: str, value: float) -> str:
+    """Format a counter/gauge by the unit its name suffix declares.
+
+    ``*_bytes`` gauges are sizes, ``*_s``/``*_seconds`` are durations,
+    anything else (queue depths, lane counts, event tallies) renders raw —
+    so a non-byte gauge is never mislabeled as "B/KB".
+    """
+    # Imported lazily: analysis.reporting sits behind the analysis package
+    # init, which pulls in metrics/graph and must not load at import time
+    # of this low-level module.
+    from .analysis.reporting import format_cell
+
+    if key.endswith("_bytes"):
+        return format_cell(value, "size")
+    if key.endswith(("_s", "_seconds")):
+        return format_cell(value, "duration")
+    return format_cell(value, "raw")
+
+
 class Meter(Protocol):
     """A telemetry source.
 
@@ -57,6 +94,9 @@ class PhaseStats:
     wall_seconds: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
     peaks: dict[str, float] = field(default_factory=dict)
+    #: ``"ExcType: message"`` when the phase body raised; such stats are
+    #: kept aside (``Telemetry.failed``) and never merged into the totals.
+    error: str | None = None
 
     @property
     def sim_seconds(self) -> float:
@@ -67,14 +107,10 @@ class PhaseStats:
     def overlap_saved_s(self) -> float:
         """Wall seconds the pipelined overlap removed during this phase.
 
-        Background work (worker tasks, read-ahead, write-behind) ran for
-        ``par_busy_s`` seconds; the caller thread only *blocked* on it for
-        ``par_wait_s``. A serialized schedule would have paid the full
-        busy time on the critical path, so the difference is the saving.
-        Zero in serial mode (the counters never move).
+        Delegates to the module-level :func:`overlap_saved_s` helper — the
+        one shared formula (see its docstring).
         """
-        return max(0.0, self.counters.get("par_busy_s", 0.0)
-                   - self.counters.get("par_wait_s", 0.0))
+        return overlap_saved_s(self.counters)
 
     def merged_with(self, other: "PhaseStats") -> "PhaseStats":
         """Combine two phases of the same name (times add, peaks max)."""
@@ -96,7 +132,9 @@ class PhaseStats:
             if self.counters.get(key):
                 parts.append(f"{key.split('_')[1]}={format_size(self.counters[key])}")
         for key, value in self.peaks.items():
-            parts.append(f"peak_{key}={format_size(value)}")
+            parts.append(f"peak_{key}={format_metric(key, value)}")
+        if self.error is not None:
+            parts.append(f"FAILED({self.error})")
         return " ".join(parts)
 
 
@@ -148,6 +186,7 @@ class _PhaseContext:
         self._start_wall = 0.0
         self._start_counters: dict[str, float] = {}
         self._peak_acc: dict[str, float] = {}
+        self._span_handle = -1
 
     def _fold_current_peaks(self) -> dict[str, float]:
         peaks = self._peak_acc
@@ -155,6 +194,14 @@ class _PhaseContext:
             for key, value in meter.peaks().items():
                 peaks[key] = max(peaks.get(key, 0.0), value)
         return peaks
+
+    def _snapshot_into(self, stats: PhaseStats) -> None:
+        end_counters = self._telemetry._counter_totals()
+        for key, value in end_counters.items():
+            stats.counters[key] = value - self._start_counters.get(key, 0.0)
+        # Meters are NOT reset here: the gauges since the last reset (this
+        # phase's entry) stay visible, so enclosing phases absorb them too.
+        stats.peaks = dict(self._fold_current_peaks())
 
     def __enter__(self) -> "_PhaseContext":
         self._start_counters = self._telemetry._counter_totals()
@@ -166,20 +213,46 @@ class _PhaseContext:
             meter.reset_peaks()
         self._peak_acc = {}
         self._telemetry._active.append(self)
+        tracer = self._telemetry.tracer
+        tracer.push_phase(self._name)
+        # The span begin shares this exact stamp with wall_seconds, so the
+        # traced phase duration reconciles with telemetry to the float.
         self._start_wall = time.perf_counter()
+        self._span_handle = tracer.begin(
+            self._name, track="pipeline", cat="phase", det=True,
+            at=self._start_wall)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        wall = time.perf_counter() - self._start_wall
-        stats = PhaseStats(self._name, wall_seconds=wall)
-        end_counters = self._telemetry._counter_totals()
-        for key, value in end_counters.items():
-            stats.counters[key] = value - self._start_counters.get(key, 0.0)
-        # Meters are NOT reset here: the gauges since the last reset (this
-        # phase's entry) stay visible, so enclosing phases absorb them too.
-        stats.peaks = dict(self._fold_current_peaks())
-        self._telemetry._active.remove(self)
-        self._telemetry._record(stats)
+        end_wall = time.perf_counter()
+        error = None if exc_type is None else f"{exc_type.__name__}: {exc}"
+        stats = PhaseStats(self._name,
+                           wall_seconds=end_wall - self._start_wall,
+                           error=error)
+        try:
+            if error is None:
+                # A meter raising here propagates to the caller — but via
+                # the finally below it can no longer leak this context on
+                # the active stack.
+                self._snapshot_into(stats)
+                self._telemetry._record(stats)
+            else:
+                # The phase body already failed: snapshot best-effort (a
+                # broken meter must not mask the original exception) and
+                # keep the tainted stats out of the merged totals.
+                try:
+                    self._snapshot_into(stats)
+                except Exception:
+                    pass
+                self._telemetry._failed.append(stats)
+        finally:
+            try:
+                self._telemetry._active.remove(self)
+            except ValueError:
+                pass
+            tracer = self._telemetry.tracer
+            tracer.end(self._span_handle, at=end_wall, error=error)
+            tracer.pop_phase()
 
 
 class Telemetry:
@@ -190,11 +263,17 @@ class Telemetry:
     the maximum — matching how the paper reports one row per phase.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer=None) -> None:
+        if tracer is None:
+            # Lazy: repro.trace's package init reaches back into this
+            # module, so the import must not run at telemetry import time.
+            from .trace.tracer import NULL_TRACER as tracer
+        self.tracer = tracer
         self._meters: list[Meter] = []
         self._phases: dict[str, PhaseStats] = {}
         self._order: list[str] = []
         self._active: list[_PhaseContext] = []
+        self._failed: list[PhaseStats] = []
 
     def register(self, meter: Meter) -> None:
         """Attach a telemetry source; subsequent phases include its data."""
@@ -232,6 +311,11 @@ class Telemetry:
         """Recorded phases in first-seen order."""
         return [self._phases[name] for name in self._order]
 
+    @property
+    def failed(self) -> list[PhaseStats]:
+        """Phases whose body raised, tagged with their error, unmerged."""
+        return list(self._failed)
+
     def total_wall_seconds(self) -> float:
         """Sum of wall time over all recorded phases."""
         return sum(stats.wall_seconds for stats in self)
@@ -241,10 +325,15 @@ class Telemetry:
         return sum(stats.sim_seconds for stats in self)
 
     def report(self) -> str:
-        """Multi-line report, one row per phase plus a total row."""
+        """Multi-line report, one row per phase plus a total row.
+
+        Failed phases (if any) are listed after the total, clearly tagged,
+        and excluded from the totals themselves.
+        """
         lines = [stats.summary() for stats in self]
         lines.append(
             f"total: wall={format_duration(self.total_wall_seconds())} "
             f"sim={format_duration(self.total_sim_seconds())}"
         )
+        lines.extend(stats.summary() for stats in self._failed)
         return "\n".join(lines)

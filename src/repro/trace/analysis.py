@@ -1,0 +1,210 @@
+"""Trace summarization: busy fractions, overlap accounting, reconciliation.
+
+The tentpole invariant of the tracing layer is that it *agrees with the
+telemetry it sits beside*: per-phase span durations must reconcile with
+:class:`~repro.telemetry.Telemetry` wall times, and the busy/wait spans
+recorded by the executor lanes must reproduce ``overlap_saved_s`` through
+the same shared helper the telemetry uses. :func:`reconcile` checks both;
+the CI trace-smoke leg and ``tests/test_trace.py`` call it on real runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import TraceError
+from ..telemetry import Telemetry, overlap_saved_s
+from .perfetto import pair_spans
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Read a tracer's ``events.jsonl`` log back into event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"{path}:{line_number}: malformed event line") from exc
+    return events
+
+
+def check_balanced(events: Iterable[Mapping]) -> int:
+    """Assert every begin has a matching end; returns the span count.
+
+    A completed run must dump a balanced log — an unmatched begin means a
+    span leaked (or the run crashed mid-span), which the CI smoke leg
+    treats as a failure.
+    """
+    spans, unmatched = pair_spans(events)
+    if unmatched:
+        raise TraceError(f"{unmatched} span(s) begun but never ended")
+    return len(spans)
+
+
+def _interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by possibly-overlapping/nested intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            covered += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    return covered + (current_end - current_start)
+
+
+@dataclass(frozen=True)
+class TrackSummary:
+    """Activity on one trace track (worker lane, node, pipeline row)."""
+
+    n_spans: int
+    #: Wall seconds covered by at least one span (nested spans not
+    #: double-counted), i.e. the track's busy time.
+    busy_s: float
+    #: ``busy_s`` over the whole trace extent.
+    busy_fraction: float
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything :func:`summarize` derives from one event log."""
+
+    #: Wall seconds from first to last event.
+    extent_s: float
+    tracks: dict[str, TrackSummary] = field(default_factory=dict)
+    #: Summed wall duration of the ``phase`` spans, by phase name.
+    phase_wall_s: dict[str, float] = field(default_factory=dict)
+    #: Background busy seconds from executor lifecycle spans.
+    par_busy_s: float = 0.0
+    #: Caller-blocked seconds from executor wait spans.
+    par_wait_s: float = 0.0
+    #: Per-phase busy − wait split of the executor spans.
+    phase_overlap_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overlap_saved_s(self) -> float:
+        """Overlap saving implied by the executor spans (shared formula)."""
+        return overlap_saved_s({"par_busy_s": self.par_busy_s,
+                                "par_wait_s": self.par_wait_s})
+
+
+def summarize(events: str | Path | Iterable[Mapping]) -> TraceSummary:
+    """Summarize an event log (a path to ``events.jsonl`` or raw events)."""
+    if isinstance(events, (str, Path)):
+        events = load_events(events)
+    spans, _unmatched = pair_spans(events)
+    if not spans:
+        return TraceSummary(extent_s=0.0)
+    extent = (max(span["wall1"] for span in spans)
+              - min(span["wall0"] for span in spans))
+    by_track: dict[str, list[tuple[float, float]]] = {}
+    phase_wall: dict[str, float] = {}
+    busy = wait = 0.0
+    phase_busy: dict[str, float] = {}
+    phase_wait: dict[str, float] = {}
+    for span in spans:
+        duration = span["wall1"] - span["wall0"]
+        by_track.setdefault(span["track"], []).append(
+            (span["wall0"], span["wall1"]))
+        if span["cat"] == "phase":
+            phase_wall[span["name"]] = phase_wall.get(span["name"], 0.0) \
+                + duration
+        elif span["cat"] == "executor":
+            kind = span["args"].get("kind")
+            phase = span["phase"]
+            if kind == "busy":
+                busy += duration
+                phase_busy[phase] = phase_busy.get(phase, 0.0) + duration
+            elif kind == "wait":
+                wait += duration
+                phase_wait[phase] = phase_wait.get(phase, 0.0) + duration
+    tracks = {
+        track: TrackSummary(
+            n_spans=len(intervals),
+            busy_s=(covered := _interval_union(intervals)),
+            busy_fraction=(covered / extent) if extent > 0 else 0.0)
+        for track, intervals in by_track.items()
+    }
+    phase_overlap = {
+        phase: overlap_saved_s({"par_busy_s": phase_busy.get(phase, 0.0),
+                                "par_wait_s": phase_wait.get(phase, 0.0)})
+        for phase in set(phase_busy) | set(phase_wait)
+    }
+    return TraceSummary(extent_s=extent, tracks=tracks,
+                        phase_wall_s=phase_wall, par_busy_s=busy,
+                        par_wait_s=wait, phase_overlap_s=phase_overlap)
+
+
+def reconcile(summary: TraceSummary, telemetry: Telemetry, *,
+              wall_tol_s: float = 1e-3,
+              overlap_tol_s: float = 1e-6) -> dict:
+    """Cross-check a trace summary against the run's telemetry.
+
+    Returns ``{"ok": bool, "phase_delta_s": {...}, "overlap_delta_s": f}``.
+    Phase spans are recorded by the telemetry phase contexts from the very
+    same clock reads that produce ``PhaseStats.wall_seconds``, so the
+    per-phase deltas should be zero to the float; ``wall_tol_s`` (±1 ms)
+    allows for merged repeated phases. The overlap delta compares the
+    trace's busy−wait against the meter's ``overlap_saved_s`` — identical
+    measurements summed in different orders, so tolerance is ULP-scale.
+    """
+    phase_delta: dict[str, float] = {}
+    for stats in telemetry:
+        traced = summary.phase_wall_s.get(stats.name)
+        if traced is None:
+            raise TraceError(f"phase {stats.name!r} missing from trace")
+        phase_delta[stats.name] = traced - stats.wall_seconds
+    meter_overlap = overlap_saved_s({
+        "par_busy_s": sum(s.counters.get("par_busy_s", 0.0) for s in telemetry),
+        "par_wait_s": sum(s.counters.get("par_wait_s", 0.0) for s in telemetry),
+    })
+    overlap_delta = summary.overlap_saved_s - meter_overlap
+    ok = (all(abs(delta) <= wall_tol_s for delta in phase_delta.values())
+          and abs(overlap_delta) <= overlap_tol_s)
+    return {"ok": ok, "phase_delta_s": phase_delta,
+            "overlap_delta_s": overlap_delta}
+
+
+def validate_perfetto(trace: Mapping) -> int:
+    """Structurally validate an exported Perfetto trace; returns event count.
+
+    Checks what a trace viewer needs: a ``traceEvents`` list, every span a
+    well-formed complete event with non-negative ``ts``/``dur``, and a
+    ``thread_name`` metadata row for every referenced track.
+    """
+    trace_events = trace.get("traceEvents")
+    if not isinstance(trace_events, list):
+        raise TraceError("trace has no traceEvents list")
+    named_tids = set()
+    used_tids = set()
+    for event in trace_events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(event["tid"])
+            continue
+        if ph not in ("X", "i"):
+            raise TraceError(f"unexpected event phase {ph!r}")
+        if not event.get("name"):
+            raise TraceError("span without a name")
+        if event.get("ts", -1) < 0:
+            raise TraceError(f"span {event['name']!r} has negative ts")
+        if ph == "X" and event.get("dur", -1) < 0:
+            raise TraceError(f"span {event['name']!r} has negative dur")
+        used_tids.add(event["tid"])
+    missing = used_tids - named_tids
+    if missing:
+        raise TraceError(f"tracks without thread_name metadata: {missing}")
+    return len(trace_events)

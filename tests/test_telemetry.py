@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.telemetry import PhaseStats, Telemetry
+from repro.telemetry import (PhaseStats, Telemetry, format_metric,
+                             overlap_saved_s)
 
 
 class FakeMeter:
@@ -135,6 +136,115 @@ class TestTelemetry:
             pass
         report = telemetry.report()
         assert "reduce" in report and "total" in report
+
+
+class ExplodingMeter(FakeMeter):
+    """A meter whose counters() can be made to raise mid-run."""
+
+    def __init__(self):
+        super().__init__()
+        self.explode = False
+
+    def counters(self):
+        if self.explode:
+            raise RuntimeError("meter broke")
+        return super().counters()
+
+
+class TestPhaseFailure:
+    def test_failed_phase_tagged_and_kept_out_of_totals(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        with pytest.raises(ValueError):
+            with telemetry.phase("sort"):
+                meter.bump(10)
+                raise ValueError("boom")
+        assert "sort" not in telemetry
+        assert telemetry.total_wall_seconds() == 0.0
+        (failed,) = telemetry.failed
+        assert failed.error == "ValueError: boom"
+        # Best-effort snapshot still captured what the phase did.
+        assert failed.counters["bytes"] == 10
+        assert "FAILED(ValueError: boom)" in failed.summary()
+        assert "FAILED" in telemetry.report()
+
+    def test_failed_phase_does_not_leak_active_context(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            with telemetry.phase("map"):
+                raise ValueError("boom")
+        with telemetry.phase("map"):
+            pass
+        assert telemetry["map"].error is None
+        assert len(telemetry.failed) == 1
+
+    def test_broken_meter_does_not_mask_phase_exception(self):
+        telemetry = Telemetry()
+        meter = ExplodingMeter()
+        telemetry.register(meter)
+        with pytest.raises(ValueError, match="original"):
+            with telemetry.phase("reduce"):
+                meter.explode = True
+                raise ValueError("original")
+        (failed,) = telemetry.failed
+        assert failed.error == "ValueError: original"
+
+    def test_broken_meter_on_success_propagates_without_leaking(self):
+        telemetry = Telemetry()
+        meter = ExplodingMeter()
+        telemetry.register(meter)
+        with pytest.raises(RuntimeError, match="meter broke"):
+            with telemetry.phase("load"):
+                meter.explode = True
+        # The context came off the active stack despite the snapshot error,
+        # so later phases still work.
+        meter.explode = False
+        with telemetry.phase("load"):
+            pass
+        assert telemetry["load"].error is None
+
+    def test_inner_failure_leaves_outer_phase_intact(self):
+        telemetry = Telemetry()
+        meter = FakeMeter()
+        telemetry.register(meter)
+        with telemetry.phase("outer"):
+            meter.bump(3)
+            with pytest.raises(ValueError):
+                with telemetry.phase("inner"):
+                    meter.bump(4)
+                    raise ValueError("inner boom")
+            meter.bump(5)
+        assert "inner" not in telemetry
+        assert telemetry["outer"].counters["bytes"] == 12
+        assert telemetry.failed[0].name == "inner"
+
+
+class TestFormatting:
+    def test_format_metric_is_unit_aware(self):
+        assert format_metric("host_bytes", 2048.0) == "2.05 kB"
+        assert "s" in format_metric("par_busy_s", 1.5)
+        assert format_metric("queue_depth", 7.0) == "7"
+
+    def test_summary_does_not_mislabel_non_byte_gauges(self):
+        stats = PhaseStats("sort", 1.0,
+                           peaks={"queue_depth": 7.0, "host_bytes": 2048.0})
+        summary = stats.summary()
+        assert "peak_queue_depth=7 " in summary + " "
+        assert "peak_host_bytes=2.05 kB" in summary
+
+
+class TestOverlapHelper:
+    def test_shared_formula(self):
+        assert overlap_saved_s({"par_busy_s": 5.0, "par_wait_s": 2.0}) == 3.0
+        assert overlap_saved_s({"par_busy_s": 1.0, "par_wait_s": 4.0}) == 0.0
+        assert overlap_saved_s({}) == 0.0
+
+    def test_phase_stats_delegates(self):
+        stats = PhaseStats("x", 0.0,
+                           {"par_busy_s": 2.5, "par_wait_s": 0.5})
+        assert stats.overlap_saved_s == \
+            overlap_saved_s(stats.counters) == 2.0
 
 
 class TestPhaseStats:

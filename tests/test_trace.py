@@ -1,0 +1,240 @@
+"""Span tracer, Perfetto export, analysis, and trace/telemetry agreement."""
+
+import json
+import time
+
+import pytest
+
+from repro.config import AssemblyConfig, MemoryConfig
+from repro.core.pipeline import Assembler
+from repro.distributed.cluster import DistributedAssembler
+from repro.errors import TraceError
+from repro.seq.datasets import tiny_dataset
+from repro.trace import (EVENTS_FILE, MANIFEST_FILE, NULL_TRACER,
+                         PERFETTO_FILE, PERFETTO_SIM_FILE, SpanTracer,
+                         build_perfetto, check_balanced, load_events,
+                         pair_spans, reconcile, summarize, validate_perfetto)
+
+
+def _config(workers: int, trace: str = "") -> AssemblyConfig:
+    # Cramped budgets so the external sort forms several runs and actually
+    # merges (same fixture shape as tests/test_parallel_determinism.py).
+    return AssemblyConfig(min_overlap=25, workers=workers,
+                          memory=MemoryConfig(64 << 20, 1 << 20),
+                          host_block_pairs=500, device_block_pairs=128,
+                          trace=trace)
+
+
+class TestSpanTracer:
+    def test_span_records_balanced_pair(self):
+        tracer = SpanTracer(sim_time=lambda: 1.5)
+        with tracer.span("work", track="t", det=True, n=3):
+            pass
+        begin, end = tracer.events
+        assert begin["ph"] == "B" and end["ph"] == "E"
+        assert begin["id"] == end["id"]
+        assert begin["track"] == "t" and begin["det"] is True
+        assert begin["args"] == {"n": 3}
+        assert begin["sim"] == 1.5 and end["sim"] == 1.5
+        assert end["wall"] >= begin["wall"]
+        assert tracer.open_spans == 0
+
+    def test_span_error_recorded_and_propagates(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("w"):
+                raise ValueError("boom")
+        end = tracer.events[-1]
+        assert end["error"] == "ValueError: boom"
+
+    def test_span_note_lands_on_end_event(self):
+        tracer = SpanTracer()
+        with tracer.span("w") as span:
+            span.note(records=7)
+        assert tracer.events[-1]["args"] == {"records": 7}
+
+    def test_phase_tagging(self):
+        tracer = SpanTracer()
+        tracer.push_phase("sort")
+        with tracer.span("inner"):
+            pass
+        tracer.pop_phase()
+        with tracer.span("outer"):
+            pass
+        assert tracer.events[0]["phase"] == "sort"
+        assert tracer.events[2]["phase"] == ""
+
+    def test_complete_reuses_caller_stamps(self):
+        tracer = SpanTracer()
+        t0 = time.perf_counter()
+        t1 = t0 + 0.125
+        tracer.complete("task", t0, t1, kind="busy")
+        begin, end = tracer.events
+        assert end["wall"] - begin["wall"] == pytest.approx(0.125, abs=0.0)
+
+    def test_complete_sim_override(self):
+        tracer = SpanTracer(sim_time=lambda: 99.0)
+        tracer.complete("token", 0.0, 1.0, sim0=2.0, sim1=3.5)
+        begin, end = tracer.events
+        assert begin["sim"] == 2.0 and end["sim"] == 3.5
+
+    def test_bound_tracer_prefixes_and_composes(self):
+        tracer = SpanTracer()
+        node = tracer.bind(lambda: 4.0, prefix="node00/")
+        with node.span("e", track="pipeline"):
+            pass
+        assert tracer.events[0]["track"] == "node00/pipeline"
+        assert tracer.events[0]["sim"] == 4.0
+        # Re-binding keeps the prefix and lets a new clock take over.
+        reclocked = node.bind(lambda: 8.0)
+        with reclocked.span("f"):
+            pass
+        assert tracer.events[2]["track"] == "node00/main"
+        assert tracer.events[2]["sim"] == 8.0
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.begin("x") == -1
+        assert NULL_TRACER.span("x") is NULL_TRACER.span("y")
+        assert NULL_TRACER.bind(lambda: 0.0, prefix="p/") is NULL_TRACER
+        with NULL_TRACER.span("x") as span:
+            span.note(ignored=True)
+
+    def test_write_dumps_all_files(self, tmp_path):
+        tracer = SpanTracer(meta={"source": "unit"})
+        with tracer.span("a", track="t"):
+            pass
+        tracer.instant("mark", track="t")
+        files = tracer.write(tmp_path / "trace")
+        for name in (EVENTS_FILE, MANIFEST_FILE, PERFETTO_FILE,
+                     PERFETTO_SIM_FILE):
+            assert (tmp_path / "trace" / name).exists()
+        manifest = json.loads(files["manifest"].read_text())
+        assert manifest["meta"] == {"source": "unit"}
+        assert manifest["n_spans"] == 1 and manifest["open_spans"] == 0
+        assert manifest["tracks"] == ["t"]
+        events = load_events(files["events"])
+        assert check_balanced(events) == 2  # the span + the instant
+        for key in ("perfetto", "perfetto_sim"):
+            validate_perfetto(json.loads(files[key].read_text()))
+
+
+class TestAnalysis:
+    def test_unbalanced_log_detected(self):
+        tracer = SpanTracer()
+        tracer.begin("leaked")
+        with pytest.raises(TraceError, match="never ended"):
+            check_balanced(tracer.events)
+
+    def test_end_without_begin_raises(self):
+        orphan = {"ph": "E", "id": 0, "name": "x", "track": "t",
+                  "cat": "span", "det": False, "phase": "",
+                  "wall": 0.0, "sim": 0.0}
+        with pytest.raises(TraceError, match="without begin"):
+            pair_spans([orphan])
+
+    def test_load_events_rejects_malformed_line(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"ph": "B"}\nnot json\n')
+        with pytest.raises(TraceError, match="malformed"):
+            load_events(log)
+
+    def test_build_perfetto_rejects_unknown_clock(self):
+        with pytest.raises(TraceError, match="clock"):
+            build_perfetto([], clock="tai")
+
+    def test_validate_perfetto_requires_thread_names(self):
+        trace = {"traceEvents": [{"ph": "X", "name": "a", "pid": 1,
+                                  "tid": 1, "ts": 0.0, "dur": 1.0}]}
+        with pytest.raises(TraceError, match="thread_name"):
+            validate_perfetto(trace)
+
+    def test_summarize_busy_and_overlap(self):
+        tracer = SpanTracer()
+        tracer.push_phase("sort")
+        tracer.complete("phase-span", 0.0, 1.0, track="pipeline", cat="phase",
+                        det=True)
+        tracer.complete("task", 0.0, 0.4, track="worker-0", cat="executor",
+                        kind="busy")
+        tracer.complete("await", 0.5, 0.6, track="main", cat="executor",
+                        kind="wait")
+        summary = summarize(tracer.events)
+        assert summary.phase_wall_s == {"phase-span": pytest.approx(1.0)}
+        assert summary.par_busy_s == pytest.approx(0.4)
+        assert summary.par_wait_s == pytest.approx(0.1)
+        assert summary.overlap_saved_s == pytest.approx(0.3)
+        assert summary.phase_overlap_s["sort"] == pytest.approx(0.3)
+        assert summary.tracks["worker-0"].busy_s == pytest.approx(0.4)
+
+
+class TestTracedAssembly:
+    """End-to-end: a traced run reconciles with its own telemetry, and the
+    deterministic export is byte-identical across worker counts."""
+
+    def test_reconciles_and_sim_trace_is_worker_invariant(self, tmp_path):
+        md, _ = tiny_dataset(tmp_path / "data", genome_length=2000,
+                             read_length=50, coverage=20.0, min_overlap=25,
+                             seed=11)
+        sim_bytes = {}
+        for workers in (1, 4):
+            trace_dir = tmp_path / f"trace-w{workers}"
+            result = Assembler(_config(workers, str(trace_dir))) \
+                .assemble(md.store_path)
+            events = load_events(trace_dir / EVENTS_FILE)
+            check_balanced(events)
+            verdict = reconcile(summarize(events), result.telemetry)
+            assert verdict["ok"], verdict
+            # Phase spans share their clock reads with PhaseStats, so the
+            # agreement is far tighter than the ±1 ms acceptance bound.
+            assert all(abs(d) <= 1e-3
+                       for d in verdict["phase_delta_s"].values())
+            assert abs(verdict["overlap_delta_s"]) <= 1e-6
+            validate_perfetto(
+                json.loads((trace_dir / PERFETTO_FILE).read_text()))
+            sim_bytes[workers] = (trace_dir / PERFETTO_SIM_FILE).read_bytes()
+            validate_perfetto(json.loads(sim_bytes[workers]))
+        assert sim_bytes[1] == sim_bytes[4], \
+            "deterministic sim trace differs across worker counts"
+
+    def test_disabled_tracing_records_nothing(self, tmp_path):
+        md, _ = tiny_dataset(tmp_path / "data", genome_length=1000,
+                             read_length=50, coverage=10.0, min_overlap=25,
+                             seed=5)
+        result = Assembler(_config(2)).assemble(md.store_path)
+        assert result.telemetry.tracer.enabled is False
+        assert not list(tmp_path.glob("**/events.jsonl"))
+
+
+class TestTracedDistributed:
+    def test_cluster_and_token_tracks(self, tmp_path):
+        md, _ = tiny_dataset(tmp_path / "data", genome_length=1500,
+                             read_length=50, coverage=12.0, min_overlap=25,
+                             seed=13)
+        trace_dir = tmp_path / "trace-dist"
+        result = DistributedAssembler(_config(1, str(trace_dir)), 2) \
+            .assemble(md.store_path)
+        events = load_events(trace_dir / EVENTS_FILE)
+        check_balanced(events)
+        validate_perfetto(json.loads((trace_dir / PERFETTO_FILE).read_text()))
+        cluster = {e["name"] for e in events
+                   if e["track"] == "cluster" and e["ph"] == "B"}
+        assert {"map", "shuffle", "sort", "reduce", "compress"} <= cluster
+        tokens = [e for e in events
+                  if e["name"] == "token" and e["ph"] == "E"]
+        assert len(tokens) == result.reduce_report.partitions_processed
+        assert len(tokens) == sum(1 for hop in result.token_trace if hop["ok"])
+        node_tracks = {e["track"] for e in events
+                       if e["track"].startswith("node")}
+        assert any(track.startswith("node00/") for track in node_tracks)
+        assert any(track.startswith("node01/") for track in node_tracks)
+        # Cluster phase spans follow Fig. 10 order and each one's modeled
+        # extent is exactly the phase's reported critical-path seconds.
+        spans, _ = pair_spans(events)
+        by_name = {s["name"]: s for s in spans if s["track"] == "cluster"
+                   and s["cat"] == "cluster"}
+        order = ["map", "shuffle", "sort", "reduce", "compress"]
+        for earlier, later in zip(order, order[1:]):
+            assert by_name[earlier]["sim0"] <= by_name[later]["sim0"] + 1e-9
+        for name in order:
+            assert by_name[name]["sim1"] - by_name[name]["sim0"] == \
+                pytest.approx(result.phase_seconds[name])
