@@ -121,7 +121,11 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
 
     memory = MemoryConfig(parse_size(args.host_mem), parse_size(args.device_mem))
     config = AssemblyConfig(min_overlap=args.min_overlap, memory=memory,
-                            device_name=args.device, trace=args.trace)
+                            device_name=args.device, trace=args.trace,
+                            heartbeat_interval=args.heartbeat_interval,
+                            node_timeout=args.node_timeout,
+                            node_restarts=args.node_restarts,
+                            allow_degraded=not args.no_degraded)
     source = args.reads
     if not str(source).endswith(".lsgr"):
         # The simulated cluster's shared input store is packed; convert first.
@@ -145,6 +149,10 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     for phase, seconds in result.phase_seconds.items():
         print(f"  {phase:<9} {format_duration(seconds)}")
     print(f"  total     {format_duration(result.total_seconds)} (modeled)")
+    if result.degraded is not None:
+        # Degraded completion is a successful exit: the survivors finished
+        # and the report says exactly what the output is missing.
+        print(result.degraded.summary())
     if args.output:
         from .seq.alphabet import decode
         from .seq.fastq import write_fasta
@@ -273,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
     distributed.add_argument("--host-mem", default="1 GB")
     distributed.add_argument("--device-mem", default="96 MB")
     distributed.add_argument("--device", default="K20X")
+    distributed.add_argument("--heartbeat-interval", type=float, default=0.25,
+                             metavar="S",
+                             help="simulated seconds between node heartbeats")
+    distributed.add_argument("--node-timeout", type=float, default=1.0,
+                             metavar="S",
+                             help="simulated seconds without a heartbeat "
+                                  "before a node is declared dead")
+    distributed.add_argument("--node-restarts", type=int, default=1,
+                             metavar="N",
+                             help="restarts granted per node before it is "
+                                  "permanently lost")
+    distributed.add_argument("--no-degraded", action="store_true",
+                             help="fail the run instead of completing in "
+                                  "degraded mode when partitions are lost")
     distributed.add_argument("--trace", metavar="PATH", default="",
                              help="dump a cluster-wide span trace (one track "
                                   "per node) into this directory")

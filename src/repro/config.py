@@ -162,6 +162,15 @@ class AssemblyConfig:
         event log plus Chrome/Perfetto trace JSON there (see
         :mod:`repro.trace`). Purely observational: does not affect output
         or the checkpoint fingerprint.
+    heartbeat_interval / node_timeout / reduce_max_attempts /
+    retry_backoff_s / node_restarts / allow_degraded:
+        Distributed-resilience knobs (see
+        :mod:`repro.distributed.resilience`): heartbeat cadence and
+        declared-dead timeout on the simulated clock, bounded per-operation
+        retries with deterministic backoff, per-node restart budget, and
+        whether exhausted recovery degrades (report + surviving nodes)
+        rather than raising. All are execution-policy only: a clean run's
+        artifacts and timings are identical for any values.
     seed:
         Seed for fingerprint parameter choice; fixed for reproducibility.
     """
@@ -180,6 +189,22 @@ class AssemblyConfig:
     keep_workdir: bool = False
     workers: int = field(default_factory=default_workers)
     trace: str = ""
+    # -- distributed resilience (repro.distributed.resilience) -----------------
+    #: Simulated seconds between worker heartbeats to the supervisor.
+    heartbeat_interval: float = 0.25
+    #: Simulated seconds without a heartbeat before a node is declared dead.
+    node_timeout: float = 1.0
+    #: Bounded attempts per node operation (2 = one retry, the historical
+    #: distributed-reduce behaviour).
+    reduce_max_attempts: int = 2
+    #: Base backoff before the first retry; doubles per attempt with seeded
+    #: jitter (see repro.faults.RetryPolicy).
+    retry_backoff_s: float = 0.05
+    #: Fresh WorkerNode restarts granted per node before it is declared lost.
+    node_restarts: int = 1
+    #: Finish on surviving nodes with a DegradedRunReport when recovery is
+    #: exhausted (False = raise DistributedProtocolError instead).
+    allow_degraded: bool = True
     seed: int = 0x1A5A67A
 
     def __post_init__(self) -> None:
@@ -193,6 +218,16 @@ class AssemblyConfig:
             raise ConfigError("merge_fanout must be 0 (auto) or >= 2")
         if self.workers < 0:
             raise ConfigError("workers must be >= 0 (0 = auto from cpu_count)")
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be > 0")
+        if self.node_timeout < self.heartbeat_interval:
+            raise ConfigError("node_timeout must be >= heartbeat_interval")
+        if self.reduce_max_attempts < 1:
+            raise ConfigError("reduce_max_attempts must be >= 1")
+        if self.retry_backoff_s < 0:
+            raise ConfigError("retry_backoff_s must be >= 0")
+        if self.node_restarts < 0:
+            raise ConfigError("node_restarts must be >= 0")
 
     def resolved_workers(self) -> int:
         """The effective worker-pool size (``0`` resolves to ``cpu_count``)."""

@@ -81,6 +81,12 @@ def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
     # Observation-only knob: tracing never changes artifacts, so a traced
     # run may resume an untraced one and vice versa.
     payload.pop("trace", None)
+    # Resilience-policy knobs: retry/heartbeat settings change how failures
+    # are survived, never what a surviving run produces (recovered runs are
+    # byte-identical), so a run may resume under a different policy.
+    for knob in ("heartbeat_interval", "node_timeout", "reduce_max_attempts",
+                 "retry_backoff_s", "node_restarts", "allow_degraded"):
+        payload.pop(knob, None)
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest()[:16]
 
@@ -138,9 +144,18 @@ class CheckpointManager:
 
     def artifacts_intact(self, phase: str) -> bool:
         """Whether every artifact recorded for ``phase`` digests identically."""
+        return not self.damaged(phase)
+
+    def damaged(self, phase: str) -> list[str]:
+        """Relative paths of ``phase`` artifacts that are missing or damaged.
+
+        The distributed supervisor replays exactly these after a node
+        restart: partitions whose ledger digest still matches survived the
+        crash and are *not* recomputed.
+        """
         recorded = self.recorded_artifacts(phase)
-        return all(file_digest(self.workdir / rel) == digest
-                   for rel, digest in recorded.items())
+        return [rel for rel, digest in recorded.items()
+                if file_digest(self.workdir / rel) != digest]
 
     def invalidate_from(self, phase: str) -> None:
         """Drop ``phase`` and everything after it from the ledger."""

@@ -109,6 +109,7 @@ def _record_blocks(prefix_keys, suffix_keys, vertices: np.ndarray,
 def run_map(ctx: RunContext, store: PackedReadStore,
             partitions: PartitionStore | None = None, *,
             read_range: tuple[int, int] | None = None,
+            only_lengths: frozenset[int] | set[int] | None = None,
             ) -> tuple[PartitionStore, MapReport]:
     """Fingerprint reads and write the S/P length partitions.
 
@@ -117,6 +118,9 @@ def run_map(ctx: RunContext, store: PackedReadStore,
     store is mapped. An existing ``partitions`` store may be passed so a
     node can accumulate several blocks before finalizing (the caller then
     owns ``finalize()``); otherwise one is created and finalized here.
+    ``only_lengths`` keeps appends (not the fingerprinting itself) to the
+    given partition lengths — how node recovery recomputes a lost peer's
+    piece of one partition byte-identically without rewriting every length.
     """
     read_length = store.read_length
     lengths = overlap_lengths(ctx, read_length)
@@ -176,11 +180,15 @@ def run_map(ctx: RunContext, store: PackedReadStore,
                     for _ in range(2 * 2 * lanes):
                         ctx.gpu.charge_scan_kernel(n, read_length)
                     prefix_block, suffix_block = blocks
+                    appended = 0
                     for j, length in enumerate(lengths):
+                        if only_lengths is not None and length not in only_lengths:
+                            continue
                         partitions.append("P", length, prefix_block[j])
                         partitions.append("S", length, suffix_block[j])
                         tuples_written += 2 * n
-                    ctx.gpu.charge_elementwise(2 * n * len(lengths) * dtype.itemsize)
+                        appended += 1
+                    ctx.gpu.charge_elementwise(2 * n * appended * dtype.itemsize)
     finally:
         # Even on an injected crash the writers must close: the in-process
         # crash loop re-runs the pipeline, and a stale _OPEN_PATHS entry

@@ -14,7 +14,10 @@ partitions. This package reproduces that structure in-process:
   private budgets, its own virtual GPU and simulated clock,
 * :mod:`repro.distributed.cluster` — the distributed assembler and its
   phase barriers; produces per-node, per-phase timings (the data behind
-  Fig. 10) and the same contigs a single-node run yields.
+  Fig. 10) and the same contigs a single-node run yields,
+* :mod:`repro.distributed.resilience` — the failure ladder: heartbeat
+  detection, deterministic bounded retry, checkpointed node restart with
+  ledger-verified replay, partition failover and degraded-mode completion.
 
 Every node's work actually executes (on this process), so the distributed
 pipeline is functionally real; only *time* is simulated, with barriers
@@ -22,14 +25,20 @@ taking the maximum clock across participants.
 """
 
 from .network import NetworkSpec
-from .message import ActiveMessageLayer
+from .message import ActiveMessageLayer, node_scope
 from .node import WorkerNode
+from .resilience import (ClusterSupervisor, DegradedRunReport,
+                         DroppedPartition)
 from .cluster import DistributedAssembler, DistributedResult
 
 __all__ = [
     "NetworkSpec",
     "ActiveMessageLayer",
+    "node_scope",
     "WorkerNode",
+    "ClusterSupervisor",
+    "DegradedRunReport",
+    "DroppedPartition",
     "DistributedAssembler",
     "DistributedResult",
 ]

@@ -34,9 +34,8 @@ from ..core.map_phase import overlap_lengths
 from ..core.reduce_phase import (REDUCE_WINDOW_DIVISOR, ReduceReport,
                                  reduce_partition)
 from ..device.specs import DiskSpec, HostSpec
-from ..errors import ConfigError, DistributedProtocolError, FaultInjected
+from ..errors import ConfigError
 from ..extmem import RunReader
-from ..faults import plan as faults
 from ..graph import GreedyStringGraph
 from ..graph.contigs import ContigSet
 from ..seq.packing import PackedReadStore
@@ -45,6 +44,7 @@ from ..trace.tracer import NULL_TRACER, SpanTracer
 from .message import ActiveMessageLayer
 from .network import NetworkSpec
 from .node import WorkerNode
+from .resilience import ClusterSupervisor, DegradedRunReport
 
 #: Map blocks handed out per node on average (load-balancing granularity).
 BLOCKS_PER_NODE = 4
@@ -66,7 +66,13 @@ class DistributedResult:
     notes: dict[str, float] = field(default_factory=dict)
     #: Bit-vector token hand-offs: one entry per reduce attempt, recording
     #: which node held the token for which partition and whether it survived.
+    #: Failed attempts carry ``wasted_s`` (simulated seconds the aborted
+    #: attempt burned); successful hops carry ``sim0``/``sim1`` (the token
+    #: hold window on the simulated timeline).
     token_trace: tuple[dict, ...] = ()
+    #: ``None`` for clean/fully recovered runs; a report naming the dropped
+    #: partitions when the run completed in degraded mode.
+    degraded: DegradedRunReport | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -157,11 +163,13 @@ class DistributedAssembler:
              tracer: SpanTracer | None) -> DistributedResult:
         messages = ActiveMessageLayer(self.network)
         ctracer = tracer if tracer is not None else NULL_TRACER
-        nodes = [WorkerNode(i, self.config, root, messages,
-                            disk=self.disk, host=self.host, tracer=tracer)
-                 for i in range(self.n_nodes)]
         store = source if isinstance(source, PackedReadStore) \
             else PackedReadStore.open(source)
+        supervisor = ClusterSupervisor(self.config, self.n_nodes, root,
+                                       self.network, messages, store,
+                                       tracer=tracer, disk=self.disk,
+                                       host=self.host)
+        nodes = supervisor.nodes  # mutated in place on node restarts
         phase_seconds: dict[str, float] = {}
         per_node_seconds: dict[str, list[float]] = {}
 
@@ -169,12 +177,7 @@ class DistributedAssembler:
         before = self._clock_totals(nodes)
         wall0 = time.perf_counter()
         n_blocks = max(1, self.n_nodes * BLOCKS_PER_NODE)
-        block_reads = -(-store.n_reads // n_blocks)
-        for start in range(0, store.n_reads, block_reads):
-            worker = min(nodes, key=lambda n: n.ctx.clock.total_seconds)
-            worker.map_block(store, start, min(start + block_reads, store.n_reads))
-        for node in nodes:
-            node.finish_map()
+        supervisor.map_phase(n_blocks)
         phase_seconds["map"], per_node_seconds["map"] = self._phase_delta(nodes, before)
         self._cluster_span(ctracer, "map", wall0, max(before),
                            phase_seconds["map"], blocks=n_blocks)
@@ -184,13 +187,7 @@ class DistributedAssembler:
         before = self._clock_totals(nodes)
         wall0 = time.perf_counter()
         lengths = list(overlap_lengths(nodes[0].ctx, store.read_length))
-        owner_of = {length: (length - lengths[0]) % self.n_nodes for length in lengths}
-        shuffle_bytes = 0
-        for node in nodes:
-            owned = [length for length in lengths if owner_of[length] == node.node_id]
-            shuffle_bytes += node.pull_owned_partitions(nodes, owned)
-        for node in nodes:
-            node.drop_map_partitions()
+        shuffle_bytes = supervisor.shuffle_phase(lengths)
         phase_seconds["shuffle"], per_node_seconds["shuffle"] = \
             self._phase_delta(nodes, before)
         self._cluster_span(ctracer, "shuffle", wall0, max(before),
@@ -200,8 +197,7 @@ class DistributedAssembler:
         # -- sort: local per-node external sorts --------------------------------
         before = self._clock_totals(nodes)
         wall0 = time.perf_counter()
-        for node in nodes:
-            node.sort_owned()
+        supervisor.sort_phase()
         phase_seconds["sort"], per_node_seconds["sort"] = self._phase_delta(nodes, before)
         self._cluster_span(ctracer, "sort", wall0, max(before),
                            phase_seconds["sort"])
@@ -210,7 +206,7 @@ class DistributedAssembler:
         # -- reduce: parallel overlap finding, token-serialized edges ------------
         reduce_start = max(self._clock_totals(nodes))
         wall0 = time.perf_counter()
-        reduce_result = self._reduce(nodes, store, lengths, owner_of,
+        reduce_result = self._reduce(supervisor, store, lengths,
                                      tracer=ctracer)
         graph, reduce_report, reduce_time, reduce_per_node, token_trace = \
             reduce_result
@@ -219,9 +215,13 @@ class DistributedAssembler:
         self._cluster_span(ctracer, "reduce", wall0, reduce_start, reduce_time,
                            partitions=reduce_report.partitions_processed)
         self._barrier(nodes)
+        # Map pieces are the recovery lineage: only now, with every
+        # partition reduced (or formally dropped), may they be released.
+        for node in supervisor.alive():
+            node.drop_map_partitions()
 
         # -- compress: on the master --------------------------------------------
-        master = nodes[0]
+        master = (supervisor.alive() or [nodes[0]])[0]
         before = self._clock_totals(nodes)
         wall0 = time.perf_counter()
         contigs, _paths = run_compress(master.ctx, graph, store)
@@ -232,6 +232,11 @@ class DistributedAssembler:
 
         edges = graph.n_edges
         graph.release()
+        degraded = supervisor.degraded_report(reduce_report.candidates)
+        notes = {"am_messages": float(messages.messages_sent),
+                 "am_dropped": float(messages.messages_dropped),
+                 "am_delayed": float(messages.messages_delayed)}
+        notes.update(supervisor.meter.counters())
         result = DistributedResult(
             n_nodes=self.n_nodes,
             n_reads=store.n_reads,
@@ -242,32 +247,38 @@ class DistributedAssembler:
             shuffle_bytes=shuffle_bytes,
             reduce_report=reduce_report,
             edges=edges,
-            notes={"am_messages": float(messages.messages_sent)},
+            notes=notes,
             token_trace=token_trace,
+            degraded=degraded,
         )
         if not isinstance(source, PackedReadStore):
             store.close()
         return result
 
-    def _reduce(self, nodes: list[WorkerNode], store: PackedReadStore,
-                lengths: list[int], owner_of: dict[int, int], *,
-                tracer=NULL_TRACER,
+    def _reduce(self, supervisor: ClusterSupervisor, store: PackedReadStore,
+                lengths: list[int], *, tracer=NULL_TRACER,
                 ) -> tuple[GreedyStringGraph, ReduceReport, float, list[float],
                            tuple[dict, ...]]:
-        """Token-serialized distributed reduce.
+        """Token-serialized distributed reduce under the failure ladder.
 
         Overlap finding for partition ``l`` happens on its owner and is
         charged to that node's clock; the greedy edge insertion must hold
         the bit-vector token, whose timeline is tracked explicitly:
         ``token_time = max(token_time + transfer, find_done) + t_graph``.
 
-        A node failing mid-partition (an injected :class:`FaultInjected`)
-        does not lose the token: the master still holds it and replays the
-        partition once — duplicate candidate re-submissions are rejected by
-        the bit-vector, so the edge set is unchanged. A second failure on
-        the same partition raises :class:`DistributedProtocolError` rather
-        than dropping the partition silently.
+        A node failing mid-partition does not lose the token: the master
+        still holds it while the supervisor runs retry → restart → failover
+        on the owner — duplicate candidate re-submissions from replays are
+        rejected by the bit-vector, so the edge set is unchanged and
+        recovered runs are byte-identical. Because ``find_done`` is taken
+        from the surviving attempt's clock (which absorbed every wasted
+        attempt, backoff and recovery charge) and ``token_hold ≥
+        token_time``, the token timeline accrues transfer + recompute costs
+        and never goes backward. Partitions that exhaust every owner are
+        dropped into the degraded report by the supervisor (or raise when
+        ``allow_degraded`` is off).
         """
+        nodes = supervisor.nodes
         master = nodes[0]
         graph = GreedyStringGraph(store.n_reads, store.read_length,
                                   master.ctx.host_pool)
@@ -278,55 +289,57 @@ class DistributedAssembler:
         token_time = phase_start
         bitvec_transfer = self.network.transfer_seconds(graph.out_bits.nbytes)
         for length in sorted(lengths, reverse=True):
-            node = nodes[owner_of[length]]
-            s_path = node.shuffled.path("S", length, sorted_run=True)
-            p_path = node.shuffled.path("P", length, sorted_run=True)
-            if not (s_path.exists() and p_path.exists()):
+            supervisor.phase = "reduce"
+            if not supervisor.partition_has_data(length):
                 continue
-            _, m_d = node.ctx.config.resolved_blocks(node.dtype.itemsize)
-            window = max(1, m_d // REDUCE_WINDOW_DIVISOR)
-            for attempt in (0, 1):
+            attempt_wall = time.perf_counter()
+
+            def attempt(node: WorkerNode, length=length) -> tuple[float, float]:
+                s_path = node.shuffled.path("S", length, sorted_run=True)
+                p_path = node.shuffled.path("P", length, sorted_run=True)
+                _, m_d = node.ctx.config.resolved_blocks(node.dtype.itemsize)
+                window = max(1, m_d // REDUCE_WINDOW_DIVISOR)
                 host_before = node.ctx.clock.seconds("host")
-                attempt_wall = time.perf_counter()
-                try:
-                    with RunReader(s_path, node.dtype,
-                                   node.ctx.accountant) as suffixes, \
-                            RunReader(p_path, node.dtype,
-                                      node.ctx.accountant) as prefixes:
-                        reduce_partition(node.ctx, graph, suffixes, prefixes,
-                                         length, window, report)
-                except FaultInjected as exc:
-                    faults.clear_crash()
-                    token_trace.append({"length": length, "node": node.node_id,
-                                        "attempt": attempt, "ok": False})
-                    if tracer.enabled:
-                        tracer.instant("token-retry", track="cluster",
-                                       cat="reduce", det=True,
-                                       sim_at=node.ctx.clock.total_seconds,
-                                       length=length, node=node.node_id,
-                                       attempt=attempt)
-                    if attempt:
-                        raise DistributedProtocolError(
-                            f"reduce token lost: node {node.node_id} failed "
-                            f"twice on partition {length}") from exc
-                    continue
-                token_trace.append({"length": length, "node": node.node_id,
-                                    "attempt": attempt, "ok": True})
-                report.partitions_processed += 1
+                with RunReader(s_path, node.dtype,
+                               node.ctx.accountant) as suffixes, \
+                        RunReader(p_path, node.dtype,
+                                  node.ctx.accountant) as prefixes:
+                    reduce_partition(node.ctx, graph, suffixes, prefixes,
+                                     length, window, report)
                 t_graph = node.ctx.clock.seconds("host") - host_before
                 find_done = node.ctx.clock.total_seconds - t_graph
-                # The node holds the token from the instant it both received
-                # the bit-vector and finished overlap finding, until its
-                # edge insertions are folded in (t_g).
-                token_hold = max(token_time + bitvec_transfer, find_done)
-                token_time = token_hold + t_graph
+                return t_graph, find_done
+
+            outcome = supervisor.reduce_partition(length, attempt)
+            for failure in outcome.failures:
+                token_trace.append({"length": length, "node": failure["node"],
+                                    "attempt": failure["attempt"],
+                                    "ok": False,
+                                    "wasted_s": failure["wasted_s"]})
                 if tracer.enabled:
-                    tracer.complete("token", attempt_wall, time.perf_counter(),
-                                    track="cluster", cat="reduce", det=True,
-                                    sim0=token_hold, sim1=token_time,
-                                    length=length, node=node.node_id,
-                                    attempt=attempt)
-                break
+                    failed = nodes[failure["node"]]
+                    tracer.instant("token-retry", track="cluster",
+                                   cat="reduce", det=True,
+                                   sim_at=failed.ctx.clock.total_seconds,
+                                   length=length, node=failure["node"],
+                                   attempt=failure["attempt"])
+            if not outcome.ok:
+                continue  # dropped partition: the token never visits it
+            report.partitions_processed += 1
+            # The node holds the token from the instant it both received
+            # the bit-vector and finished overlap finding, until its
+            # edge insertions are folded in (t_g).
+            token_hold = max(token_time + bitvec_transfer, outcome.find_done)
+            token_time = token_hold + outcome.t_graph
+            token_trace.append({"length": length, "node": outcome.node,
+                                "attempt": outcome.attempts - 1, "ok": True,
+                                "sim0": token_hold, "sim1": token_time})
+            if tracer.enabled:
+                tracer.complete("token", attempt_wall, time.perf_counter(),
+                                track="cluster", cat="reduce", det=True,
+                                sim0=token_hold, sim1=token_time,
+                                length=length, node=outcome.node,
+                                attempt=outcome.attempts - 1)
         report.edges_added = graph.n_edges
         reduce_time = token_time - phase_start
         per_node = [node.ctx.clock.total_seconds - b

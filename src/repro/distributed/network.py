@@ -6,6 +6,9 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 
+#: Payload of one heartbeat probe (a liveness ping carries no data).
+HEARTBEAT_BYTES = 64
+
 
 @dataclass(frozen=True)
 class NetworkSpec:
@@ -26,6 +29,10 @@ class NetworkSpec:
     def transfer_seconds(self, nbytes: int) -> float:
         """Modeled time to move ``nbytes`` between two nodes."""
         return self.latency_seconds + max(0, nbytes) / self.bandwidth
+
+    def heartbeat_seconds(self) -> float:
+        """Modeled cost of one supervisor heartbeat probe (tiny payload)."""
+        return self.transfer_seconds(HEARTBEAT_BYTES)
 
     @staticmethod
     def ethernet_10g() -> "NetworkSpec":

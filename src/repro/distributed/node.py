@@ -13,19 +13,25 @@ from pathlib import Path
 
 import numpy as np
 
+from typing import Callable, Iterable
+
 from ..config import AssemblyConfig
+from ..core.checkpoint import CheckpointManager, config_fingerprint
 from ..core.context import RunContext
 from ..core.map_phase import run_map
-from ..core.sort_phase import run_sort
+from ..core.sort_phase import make_sorter, run_sort
 from ..device.specs import DiskSpec, HostSpec
 from ..extmem import PartitionStore, RunReader, RunWriter
 from ..extmem.records import kv_dtype
 from ..seq.packing import PackedReadStore
 from ..trace.tracer import NULL_TRACER
-from .message import ActiveMessageLayer
+from .message import ActiveMessageLayer, node_scope
 
 #: AM handler name for pulling a map-phase partition piece from a peer.
 FETCH_PARTITION = "fetch_partition"
+
+#: Per-node ledger phases, in pipeline order.
+LEDGER_PHASES = ("map", "shuffle", "sort")
 
 
 class WorkerNode:
@@ -51,8 +57,22 @@ class WorkerNode:
                                        self.dtype, self.ctx.accountant)
         self.owned_lengths: list[int] = []
         self.mapped_reads = 0
+        # Per-node artifact ledger (state.json in the node's private dir):
+        # each phase records digests of the files it produced, so a
+        # restarted replacement can tell intact partitions from damaged
+        # ones and replay only the latter. A fresh WorkerNode on the same
+        # workdir reloads the dead node's surviving ledger — that survival
+        # is the whole point of checkpointed node recovery.
+        self.ledger = CheckpointManager(
+            self.ctx.workdir,
+            config_fingerprint(config, node_scope(node_id)))
         messages.register_node(node_id, self.ctx.clock)
         messages.register_handler(node_id, FETCH_PARTITION, self._serve_partition)
+
+    @property
+    def scope(self) -> str:
+        """This node's fault-plan scope label (``node00``, ``node01``, …)."""
+        return node_scope(self.node_id)
 
     # -- map ---------------------------------------------------------------
 
@@ -116,5 +136,109 @@ class WorkerNode:
     # -- sort ----------------------------------------------------------------
 
     def sort_owned(self):
-        """Sort every owned shuffled partition with local budgets."""
+        """Sort every owned shuffled partition with local budgets.
+
+        Idempotent: partitions whose sorted file already exists (a restarted
+        node replaying the phase) are skipped by :func:`run_sort`.
+        """
         return run_sort(self.ctx, self.shuffled)
+
+    def sort_lengths(self, lengths: Iterable[int]) -> None:
+        """Sort just the given shuffled partitions (targeted recovery)."""
+        sorter = make_sorter(self.ctx, self.dtype)
+        for length in sorted(lengths):
+            for side in ("S", "P"):
+                unsorted_path = self.shuffled.path(side, length)
+                if not unsorted_path.exists():
+                    continue
+                sorter.sort_file(unsorted_path,
+                                 self.shuffled.path(side, length, sorted_run=True))
+                self.shuffled.delete(side, length)
+
+    # -- recovery ------------------------------------------------------------
+
+    def record_ledger(self, phase: str) -> None:
+        """Digest this phase's on-disk artifacts into the node ledger."""
+        if phase == "map":
+            artifacts = sorted(self.map_partitions.root.glob("[SP]_*.run"))
+        elif phase == "shuffle":
+            artifacts = [self.shuffled.path(side, length)
+                         for length in self.owned_lengths for side in ("S", "P")
+                         if self.shuffled.path(side, length).exists()]
+        elif phase == "sort":
+            artifacts = [self.shuffled.path(side, length, sorted_run=True)
+                         for length in self.owned_lengths for side in ("S", "P")
+                         if self.shuffled.path(side, length, sorted_run=True).exists()]
+        else:
+            raise ValueError(f"no ledger phase {phase!r}")
+        self.ledger.mark(phase, artifacts)
+
+    def damaged_lengths(self, phase: str) -> list[int]:
+        """Owned lengths whose ``phase`` artifacts fail their ledger digest."""
+        damaged = set()
+        for rel in self.ledger.damaged(phase):
+            stem = Path(rel).name.split(".")[0]  # e.g. "S_00033"
+            damaged.add(int(stem.split("_")[1]))
+        return sorted(damaged)
+
+    def rebuild_partitions(self, n_nodes: int, alive: dict[int, "WorkerNode"],
+                           lengths: Iterable[int],
+                           recompute_piece: Callable[[int, str, int], np.ndarray],
+                           ) -> int:
+        """Reconstruct shuffled partitions byte-identically from lineage.
+
+        A shuffled partition is the concatenation, in node-id order, of each
+        peer's retained map-phase piece. Pieces of live peers are re-pulled
+        over the active-message layer; pieces of lost peers (or of this node
+        itself after a single-node rename consumed the piece) come from
+        ``recompute_piece(peer_id, side, length)``, which re-derives them
+        from the shared packed store. Returns bytes pulled over the network.
+        """
+        pulled = 0
+        for length in sorted(lengths, reverse=True):
+            for side in ("S", "P"):
+                # Drop damaged leftovers of the dead attempt first: a stale
+                # sorted file would make the sort skip the rebuilt input.
+                self.shuffled.delete(side, length)
+                self.shuffled.delete(side, length, sorted_run=True)
+                writer = RunWriter(self.shuffled.path(side, length), self.dtype,
+                                   self.ctx.accountant)
+                try:
+                    for peer_id in range(n_nodes):
+                        peer = alive.get(peer_id)
+                        if peer is not None and \
+                                peer.map_partitions.path(side, length).exists():
+                            records = self.messages.request(
+                                self.node_id, peer_id, FETCH_PARTITION,
+                                side, length)
+                        else:
+                            records = recompute_piece(peer_id, side, length)
+                        if records.shape[0]:
+                            writer.append(records)
+                            if peer_id != self.node_id:
+                                pulled += records.nbytes
+                finally:
+                    writer.close()
+        return pulled
+
+    def abandon(self) -> None:
+        """Tear down a declared-dead node's in-process residue.
+
+        The simulated process died but its private storage survives; the
+        replacement node reopens the same directory. What must not survive
+        are this object's open stream writers (the exclusivity registry
+        would reject the replacement's files) and its executor threads.
+        """
+        for writer in list(self.map_partitions._writers.values()):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self.map_partitions._writers.clear()
+        for writer in list(self.shuffled._writers.values()):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self.shuffled._writers.clear()
+        self.ctx.executor.shutdown()

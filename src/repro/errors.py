@@ -53,6 +53,22 @@ class DistributedProtocolError(ReproError):
     """A node violated the distributed pipeline's message protocol."""
 
 
+class MessageDropped(DistributedProtocolError):
+    """An active message was lost in flight (injected ``msg-drop``).
+
+    The requester's handler never ran; the sender may retry — the supervisor
+    treats this as a transient failure, unlike handler-side protocol errors.
+    """
+
+
+class RetryExhausted(ReproError):
+    """A bounded :class:`repro.faults.RetryPolicy` ran out of attempts.
+
+    Carries no recovery semantics itself; the distributed supervisor
+    escalates it to node restart, partition failover or degraded mode.
+    """
+
+
 class TraceError(ReproError):
     """A span trace is malformed (unbalanced events, bad Perfetto JSON)."""
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterator, Sequence
 
-from ..errors import ConfigError, FaultInjected
+from ..errors import ConfigError, FaultInjected, MessageDropped
 from ..telemetry import EventMeter
 
 # -- fault kinds ---------------------------------------------------------------
@@ -44,16 +44,22 @@ TORN = "torn"
 ENOSPC = "enospc"
 FSYNC_LOSS = "fsync-loss"
 BITFLIP = "bitflip"
-KINDS = (CRASH, TORN, ENOSPC, FSYNC_LOSS, BITFLIP)
+NODE_CRASH = "node-crash"  #: a whole worker process dies at an op boundary
+MSG_DROP = "msg-drop"      #: an active message vanishes in flight
+MSG_DELAY = "msg-delay"    #: an active message arrives late (extra latency)
+KINDS = (CRASH, TORN, ENOSPC, FSYNC_LOSS, BITFLIP,
+         NODE_CRASH, MSG_DROP, MSG_DELAY)
 
 # -- hook sites ---------------------------------------------------------------
 
-WRITE = "write"    #: RunWriter.append / PackedReadStore writes
-READ = "read"      #: RunReader.read / PackedReadStore reads
-LEDGER = "ledger"  #: checkpoint state.json writes
-RENAME = "rename"  #: sort_file's atomic publish of a finished run
-PHASE = "phase"    #: pipeline phase boundaries (label = phase name)
-SITES = (WRITE, READ, LEDGER, RENAME, PHASE)
+WRITE = "write"      #: RunWriter.append / PackedReadStore writes
+READ = "read"        #: RunReader.read / PackedReadStore reads
+LEDGER = "ledger"    #: checkpoint state.json writes
+RENAME = "rename"    #: sort_file's atomic publish of a finished run
+PHASE = "phase"      #: pipeline phase boundaries (label = phase name)
+MESSAGE = "message"  #: active-message delivery (label = "src->dst:handler")
+NODE = "node"        #: distributed node-op boundaries (label = "scope:op")
+SITES = (WRITE, READ, LEDGER, RENAME, PHASE, MESSAGE, NODE)
 
 #: Fault kinds that make sense per site (seeded plans draw from these).
 _SITE_KINDS = {
@@ -62,7 +68,16 @@ _SITE_KINDS = {
     LEDGER: (CRASH, TORN, FSYNC_LOSS),
     RENAME: (CRASH,),
     PHASE: (CRASH,),
+    MESSAGE: (MSG_DROP, MSG_DELAY, NODE_CRASH),
+    NODE: (NODE_CRASH, CRASH),
 }
+
+#: Extra in-flight latency of a ``msg-delay`` fault with ``seconds=0``.
+DEFAULT_MSG_DELAY_S = 1e-3
+
+#: Sentinel: ``clear_crash()`` without a scope clears every scope (the
+#: single-node chaos path, where no scopes exist). ``None`` is a real scope.
+_ALL_SCOPES = object()
 
 
 @dataclass(frozen=True)
@@ -84,12 +99,16 @@ class Fault:
     offset: int | None = None
     delay: int = 1
     once: bool = True
+    #: Extra latency of a ``msg-delay`` fault (0 = :data:`DEFAULT_MSG_DELAY_S`).
+    seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ConfigError(f"unknown fault kind {self.kind!r}; options: {KINDS}")
         if self.site != "*" and self.site not in SITES:
             raise ConfigError(f"unknown fault site {self.site!r}; options: {SITES}")
+        if self.seconds < 0:
+            raise ConfigError("fault delay seconds must be >= 0")
 
     def triggers(self, op: int, site: str, name: str) -> bool:
         """Whether this fault fires at hook visit ``op`` of ``site``/``name``."""
@@ -134,9 +153,12 @@ class FaultPlan:
         self._pending = list(faults)
         self.events: list[FaultEvent] = []
         self.trace: list[TracePoint] = []
-        self.crashed = False
+        #: Scopes (node labels; ``None`` = unscoped) with an unacknowledged
+        #: simulated crash. One node's recovery clears only its own scope.
+        self._crashed_scopes: set[str | None] = set()
         self.meter = EventMeter()
         self._op = 0
+        self._scope: str | None = None
         self._phase: str | None = None
         self._armed_crash_op: int | None = None
         #: Acknowledged-but-unsynced writes: (path, offset|None, original).
@@ -168,6 +190,25 @@ class FaultPlan:
                       offset=rng.randrange(64), delay=1 + rng.randrange(4))
         return cls([fault], seed=seed)
 
+    @classmethod
+    def seeded_cluster(cls, seed: int, n_ops: int, *,
+                       kinds: Sequence[str] = (NODE_CRASH, MSG_DROP, MSG_DELAY),
+                       ) -> "FaultPlan":
+        """Draw one node-level fault over the cluster's op space from ``seed``.
+
+        The distributed analogue of :meth:`seeded`: node crashes land on
+        node-op boundaries, message faults on active-message deliveries —
+        the same ``(seed, n_ops)`` always reproduces the same fault.
+        """
+        if n_ops < 1:
+            raise ConfigError("seeded plans need n_ops >= 1")
+        rng = random.Random(seed)
+        kind = rng.choice(list(kinds))
+        site = NODE if kind == NODE_CRASH else MESSAGE
+        fault = Fault(kind, site=site, at_op=rng.randrange(n_ops),
+                      seconds=rng.random() * 0.01 if kind == MSG_DELAY else 0.0)
+        return cls([fault], seed=seed)
+
     # -- state ----------------------------------------------------------------
 
     @property
@@ -180,9 +221,28 @@ class FaultPlan:
         """Faults not yet fired."""
         return tuple(self._pending)
 
-    def clear_crash(self) -> None:
-        """Acknowledge a simulated crash (a survivor caught the failure)."""
-        self.crashed = False
+    @property
+    def crashed(self) -> bool:
+        """Whether any scope has an unacknowledged simulated crash."""
+        return bool(self._crashed_scopes)
+
+    @property
+    def crashed_scopes(self) -> tuple[str | None, ...]:
+        """Scopes with an unacknowledged crash (sorted, ``None`` first)."""
+        return tuple(sorted(self._crashed_scopes,
+                            key=lambda s: (s is not None, s)))
+
+    def clear_crash(self, scope: str | None = _ALL_SCOPES) -> None:
+        """Acknowledge a simulated crash (a survivor caught the failure).
+
+        With a ``scope``, only that node's pending crash is acknowledged —
+        one node's recovery cannot swallow another node's injected fault.
+        Without one (the single-node chaos path), every scope is cleared.
+        """
+        if scope is _ALL_SCOPES:
+            self._crashed_scopes.clear()
+        else:
+            self._crashed_scopes.discard(scope)
 
     # -- matching -------------------------------------------------------------
 
@@ -230,7 +290,7 @@ class FaultPlan:
     def _die(self, event: FaultEvent, reason: str) -> None:
         self._record(event)
         self._revert_lost_writes()
-        self.crashed = True
+        self._crashed_scopes.add(self._scope)
         raise FaultInjected(
             f"injected {event.kind} at op {event.op} ({event.site}: "
             f"{event.path}): {reason}")
@@ -329,6 +389,51 @@ class FaultPlan:
             self._die(FaultEvent(self._op - 1, CRASH, site, label),
                       "crash at barrier")
 
+    # -- node-level fault execution --------------------------------------------
+
+    def deliver_message(self, src_scope: str, dst_scope: str,
+                        handler: str) -> float:
+        """Visit one active-message delivery; returns extra latency seconds.
+
+        ``msg-drop`` raises :class:`~repro.errors.MessageDropped` (the
+        handler never runs; the sender may retry). ``node-crash`` kills the
+        *destination* node — its scope is marked crashed and
+        :class:`~repro.errors.FaultInjected` unwinds to the requester, who
+        observed the peer die mid-request. ``msg-delay`` returns the extra
+        in-flight seconds for the caller to charge.
+        """
+        label = f"{src_scope}->{dst_scope}:{handler}"
+        fault = self._visit(MESSAGE, label)
+        if fault is None:
+            return 0.0
+        event = FaultEvent(self._op - 1, fault.kind, MESSAGE, label)
+        if fault.kind == MSG_DROP:
+            self._record(event)
+            raise MessageDropped(
+                f"injected msg-drop at op {event.op}: {label} lost in flight")
+        if fault.kind == MSG_DELAY:
+            self._record(event)
+            return fault.seconds or DEFAULT_MSG_DELAY_S
+        # NODE_CRASH: the destination process dies servicing the request.
+        previous, self._scope = self._scope, dst_scope
+        try:
+            self._die(event, f"destination {dst_scope} died mid-request")
+        finally:
+            self._scope = previous
+        return 0.0  # unreachable
+
+    def node_op(self, scope: str, op: str) -> None:
+        """Visit one distributed node-operation boundary (may kill ``scope``)."""
+        label = f"{scope}:{op}"
+        fault = self._visit(NODE, label)
+        if fault is not None and fault.kind in (NODE_CRASH, CRASH):
+            previous, self._scope = self._scope, scope
+            try:
+                self._die(FaultEvent(self._op - 1, fault.kind, NODE, label),
+                          f"node {scope} crashed at {op}")
+            finally:
+                self._scope = previous
+
     @staticmethod
     def _flip(payload: bytes, offset: int | None) -> bytes:
         if not payload:
@@ -372,10 +477,53 @@ def crash_pending() -> bool:
     return _ACTIVE is not None and _ACTIVE.crashed
 
 
-def clear_crash() -> None:
-    """Acknowledge a caught simulated crash (see :meth:`FaultPlan.clear_crash`)."""
+def clear_crash(scope: str | None = _ALL_SCOPES) -> None:
+    """Acknowledge a caught simulated crash (see :meth:`FaultPlan.clear_crash`).
+
+    Pass a node scope (e.g. ``"node01"``) to acknowledge only that node's
+    crash; the bare call clears everything (single-node recovery).
+    """
     if _ACTIVE is not None:
-        _ACTIVE.clear_crash()
+        _ACTIVE.clear_crash(scope)
+
+
+def crashed_scopes() -> tuple[str | None, ...]:
+    """Scopes with unacknowledged crashes on the active plan (or ``()``)."""
+    if _ACTIVE is None:
+        return ()
+    return _ACTIVE.crashed_scopes
+
+
+@contextmanager
+def scoped(scope: str | None) -> Iterator[None]:
+    """Attribute faults fired inside the block to ``scope`` (a node label).
+
+    The distributed supervisor wraps each node operation so that an
+    injected crash records *which node* died; ``clear_crash(scope=...)``
+    then acknowledges exactly that node's failure.
+    """
+    if _ACTIVE is None:
+        yield
+        return
+    previous = _ACTIVE._scope
+    _ACTIVE._scope = scope
+    try:
+        yield
+    finally:
+        _ACTIVE._scope = previous
+
+
+def node_op(scope: str, op: str) -> None:
+    """Visit a distributed node-op boundary under the active plan."""
+    if _ACTIVE is not None:
+        _ACTIVE.node_op(scope, op)
+
+
+def deliver_message(src_scope: str, dst_scope: str, handler: str) -> float:
+    """Visit an active-message delivery; returns injected extra latency."""
+    if _ACTIVE is None:
+        return 0.0
+    return _ACTIVE.deliver_message(src_scope, dst_scope, handler)
 
 
 def deliver_write(path: Path, payload: bytes, handle: BinaryIO) -> None:

@@ -151,6 +151,7 @@ class EventMeter:
 
     def __init__(self) -> None:
         self._counts: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
         self._lock = threading.Lock()
 
     def bump(self, key: str, amount: float = 1.0) -> None:
@@ -158,17 +159,30 @@ class EventMeter:
         with self._lock:
             self._counts[key] = self._counts.get(key, 0.0) + amount
 
+    def gauge(self, key: str, value: float) -> None:
+        """Record an instantaneous observation; ``peaks()`` keeps the max.
+
+        Unlike counters, gauges are high-water marks per phase (e.g. the
+        longest single backoff the resilience layer charged) and reset at
+        phase boundaries like every other meter gauge.
+        """
+        with self._lock:
+            self._gauges[key] = max(self._gauges.get(key, value), value)
+
     def counters(self) -> Mapping[str, float]:
         """Monotonically increasing event totals."""
         with self._lock:
             return dict(self._counts)
 
     def peaks(self) -> Mapping[str, float]:
-        """Event meters expose no gauges."""
-        return {}
+        """High-water gauge observations since the last reset."""
+        with self._lock:
+            return dict(self._gauges)
 
     def reset_peaks(self) -> None:
-        """No gauges to reset."""
+        """Start a fresh high-water window for every gauge."""
+        with self._lock:
+            self._gauges.clear()
 
 
 class _PhaseContext:

@@ -6,7 +6,8 @@ See :mod:`repro.trace.tracer` for the recording side,
 """
 
 from .analysis import (TraceSummary, TrackSummary, check_balanced,
-                       load_events, reconcile, summarize, validate_perfetto)
+                       load_events, reconcile, resilience_events, summarize,
+                       validate_perfetto)
 from .perfetto import build_perfetto, pair_spans
 from .tracer import (EVENTS_FILE, MANIFEST_FILE, NULL_TRACER, PERFETTO_FILE,
                      PERFETTO_SIM_FILE, TRACE_FORMAT_VERSION, BoundTracer,
@@ -28,6 +29,7 @@ __all__ = [
     "check_balanced",
     "summarize",
     "reconcile",
+    "resilience_events",
     "validate_perfetto",
     "TraceSummary",
     "TrackSummary",

@@ -147,6 +147,50 @@ def summarize(events: str | Path | Iterable[Mapping]) -> TraceSummary:
                         par_wait_s=wait, phase_overlap_s=phase_overlap)
 
 
+def resilience_events(events: str | Path | Iterable[Mapping]) -> dict:
+    """Aggregate the resilience instrumentation out of one event log.
+
+    The supervisor (:mod:`repro.distributed.resilience`) emits ``cat ==
+    "resilience"`` spans/instants plus ``token-retry`` markers from the
+    reduce loop; this rolls them up into the shape the chaos CI leg and
+    the resilience benchmark report on::
+
+        {"heartbeat_misses": int, "backoffs": int, "backoff_sim_s": float,
+         "restarts": int, "reassignments": int, "token_retries": int,
+         "nodes_lost": int, "partitions_dropped": int}
+
+    A clean run yields all zeros — the fast path emits none of these.
+    """
+    if isinstance(events, (str, Path)):
+        events = load_events(events)
+    counts = {
+        "heartbeat_misses": 0, "backoffs": 0, "backoff_sim_s": 0.0,
+        "restarts": 0, "reassignments": 0, "token_retries": 0,
+        "nodes_lost": 0, "partitions_dropped": 0,
+    }
+    markers = {
+        "heartbeat-miss": "heartbeat_misses",
+        "token-retry": "token_retries",
+        "node-lost": "nodes_lost",
+        "partition-dropped": "partitions_dropped",
+    }
+    spans, _unmatched = pair_spans(events)
+    for span in spans:
+        name = span["name"]
+        if name == "backoff":
+            counts["backoffs"] += 1
+            counts["backoff_sim_s"] += span["sim1"] - span["sim0"]
+        elif name == "failover":
+            action = span["args"].get("action")
+            if action == "restart":
+                counts["restarts"] += 1
+            elif action == "reassign":
+                counts["reassignments"] += 1
+        elif name in markers:
+            counts[markers[name]] += 1
+    return counts
+
+
 def reconcile(summary: TraceSummary, telemetry: Telemetry, *,
               wall_tol_s: float = 1e-3,
               overlap_tol_s: float = 1e-6) -> dict:

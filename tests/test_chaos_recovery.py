@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -296,9 +297,12 @@ class TestDistributedToken:
     def test_persistent_node_failure_raises_typed_error(self, chaos_data,
                                                         config):
         md, _ = chaos_data
+        # With degraded mode off, exhausting every owner of a partition is
+        # still the historical fail-stop protocol error.
+        strict = replace(config, allow_degraded=False)
         plan = FaultPlan([Fault(CRASH, site=READ, match="*.sorted.run",
                                 once=False)])
         with inject(plan):
             with pytest.raises(DistributedProtocolError, match="token lost"):
-                DistributedAssembler(config, self.N_NODES).assemble(
+                DistributedAssembler(strict, self.N_NODES).assemble(
                     md.store_path)
