@@ -4,12 +4,13 @@ Runs the map + sort phases (the two pipelined hot paths) on the Fig. 8
 workload — the scaled H.Genome partition dataset — under ``workers`` ∈
 {1, 2, 4} and reports, per run, the wall time and the wall seconds the
 double-buffered overlap removed (``overlap_saved_s``, background busy
-minus caller blocked time). Results land in
+minus caller blocked time). ``--backend`` picks the executor backend
+(default ``auto``: processes when workers > 1). Results land in
 ``benchmarks/results/BENCH_parallel.json``::
 
-    {"cpu_count": ..., "mode": "full"|"smoke",
-     "entries": [{"workload": ..., "workers": ..., "wall_s": ...,
-                  "overlap_saved_s": ...}, ...]}
+    {"cpu_count": ..., "mode": "full"|"smoke", "backend": ...,
+     "entries": [{"workload": ..., "workers": ..., "backend": ...,
+                  "wall_s": ..., "overlap_saved_s": ...}, ...]}
 
 ``--smoke`` swaps in a tiny simulated dataset so CI can exercise the
 parallel code paths in seconds; it is a plumbing check, not a measurement.
@@ -68,10 +69,10 @@ def _full_workload(root: Path):
     from _common import dataset, scaled_memory
 
     materialized = dataset("H.Genome")
-    config_for = lambda workers: AssemblyConfig(  # noqa: E731
+    config_for = lambda workers, backend: AssemblyConfig(  # noqa: E731
         min_overlap=materialized.spec.min_overlap,
         memory=scaled_memory("qb2"), device_name="K40",
-        fingerprint_lanes=2, workers=workers)
+        fingerprint_lanes=2, workers=workers, executor_backend=backend)
     return "hgenome_sim(map+sort)", materialized.store_path, config_for
 
 
@@ -79,8 +80,8 @@ def _smoke_workload(root: Path):
     materialized, _ = tiny_dataset(root / "data", genome_length=2000,
                                    read_length=50, coverage=20.0,
                                    min_overlap=25, seed=11)
-    config_for = lambda workers: AssemblyConfig(  # noqa: E731
-        min_overlap=25, workers=workers,
+    config_for = lambda workers, backend: AssemblyConfig(  # noqa: E731
+        min_overlap=25, workers=workers, executor_backend=backend,
         memory=MemoryConfig(64 << 20, 1 << 20),
         host_block_pairs=500, device_block_pairs=128)
     return "tiny_sim(map+sort)", materialized.store_path, config_for
@@ -90,6 +91,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny dataset, seconds not minutes (CI plumbing check)")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "serial", "threads", "processes"),
+                        help="executor backend for every worker count")
     parser.add_argument("--output", type=Path, default=RESULTS_PATH)
     args = parser.parse_args(argv)
 
@@ -101,9 +105,10 @@ def main(argv: list[str] | None = None) -> int:
             _smoke_workload(tmp_root) if args.smoke else _full_workload(tmp_root))
         entries = []
         for workers in WORKER_COUNTS:
-            measured = _measure(store_path, config_for(workers),
+            measured = _measure(store_path, config_for(workers, args.backend),
                                 tmp_root / f"work-{workers}")
-            entry = {"workload": workload, "workers": workers, **measured}
+            entry = {"workload": workload, "workers": workers,
+                     "backend": args.backend, **measured}
             entries.append(entry)
             print(f"workers={workers}: wall={entry['wall_s']:.3f}s "
                   f"(map {entry['map_wall_s']:.3f}s) "
@@ -118,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(
         {"cpu_count": os.cpu_count(),
          "mode": "smoke" if args.smoke else "full",
+         "backend": args.backend,
          "entries": entries}, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

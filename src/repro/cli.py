@@ -46,6 +46,8 @@ def _cmd_assemble(args: argparse.Namespace) -> int:
 
     memory = MemoryConfig(parse_size(args.host_mem), parse_size(args.device_mem))
     extra = {} if args.workers is None else {"workers": args.workers}
+    if args.backend is not None:
+        extra["executor_backend"] = args.backend
     if args.trace:
         extra["trace"] = args.trace
     config = AssemblyConfig(min_overlap=args.min_overlap, memory=memory,
@@ -245,8 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     asm.add_argument("--device", default="K40")
     asm.add_argument("--lanes", type=int, default=1, choices=(1, 2))
     asm.add_argument("--workers", type=int, default=None,
-                     help="pipeline worker threads (1=serial, 0=auto; "
+                     help="pipeline worker count (1=serial, 0=auto; "
                           "default: REPRO_WORKERS or 1)")
+    asm.add_argument("--backend", default=None,
+                     choices=("auto", "serial", "threads", "processes"),
+                     help="executor backend (auto picks processes when "
+                          "workers > 1; default: REPRO_BACKEND or auto)")
     asm.add_argument("--trace", metavar="PATH", default="",
                      help="dump a span trace (JSONL + Perfetto JSON) into "
                           "this directory")

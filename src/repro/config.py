@@ -31,6 +31,24 @@ from .units import parse_size
 DEFAULT_BUFFER_FRACTION = 0.85
 
 
+def validate_workers(workers: int, *, source: str = "workers") -> int:
+    """Validate a worker count through the one shared ``ConfigError`` path.
+
+    Every route a worker count can enter by — the config field, the
+    ``REPRO_WORKERS`` environment override, direct executor construction,
+    and :meth:`AssemblyConfig.resolved_workers` at resolve time — funnels
+    through here, so an invalid count can never reach the executor no
+    matter when or how it was injected.
+    """
+    try:
+        workers = int(workers)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{source} must be an integer, got {workers!r}") from None
+    if workers < 0:
+        raise ConfigError(f"{source} must be >= 0 (0 = auto from cpu_count)")
+    return workers
+
+
 def default_workers() -> int:
     """The default pipeline worker count: ``REPRO_WORKERS`` or 1 (serial).
 
@@ -41,13 +59,22 @@ def default_workers() -> int:
     raw = os.environ.get("REPRO_WORKERS", "").strip()
     if not raw:
         return 1
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise ConfigError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
-    if workers < 0:
-        raise ConfigError("REPRO_WORKERS must be >= 0 (0 = auto)")
-    return workers
+    return validate_workers(raw, source="REPRO_WORKERS")
+
+
+def default_backend() -> str:
+    """The default executor backend: ``REPRO_BACKEND`` or ``auto``.
+
+    ``auto`` resolves to ``processes`` when the effective worker count
+    exceeds 1 (real multi-core scaling needs to escape the GIL) and to
+    ``serial`` otherwise; see :func:`repro.parallel.resolve_backend`.
+    """
+    from .parallel.backend import check_backend
+
+    raw = os.environ.get("REPRO_BACKEND", "").strip()
+    if not raw:
+        return "auto"
+    return check_backend(raw)
 
 
 @dataclass(frozen=True)
@@ -154,6 +181,15 @@ class AssemblyConfig:
         from ``os.cpu_count()``. Output is byte-identical for every value
         — only wall-clock changes — and an armed fault plan always forces
         serial execution.
+    executor_backend:
+        Where pipeline work runs: ``serial`` (everything inline),
+        ``threads`` (the GIL-sharing worker-thread pool), ``processes``
+        (fingerprint scans and sort run formation ship to worker
+        processes over shared-memory buffers), or ``auto`` (the default,
+        or via ``REPRO_BACKEND``) which picks ``processes`` whenever the
+        resolved worker count exceeds 1. Execution-only: artifacts are
+        byte-identical across backends, so it is excluded from the
+        checkpoint fingerprint like ``workers``.
     trace:
         Directory to dump a structured span trace into ("" = tracing off,
         the default). When set, the run records begin/end events for every
@@ -188,6 +224,7 @@ class AssemblyConfig:
     dedupe_contigs: bool = True
     keep_workdir: bool = False
     workers: int = field(default_factory=default_workers)
+    executor_backend: str = field(default_factory=default_backend)
     trace: str = ""
     # -- distributed resilience (repro.distributed.resilience) -----------------
     #: Simulated seconds between worker heartbeats to the supervisor.
@@ -216,8 +253,10 @@ class AssemblyConfig:
             raise ConfigError("block/batch overrides must be >= 0 (0 = auto)")
         if self.merge_fanout < 0 or self.merge_fanout == 1:
             raise ConfigError("merge_fanout must be 0 (auto) or >= 2")
-        if self.workers < 0:
-            raise ConfigError("workers must be >= 0 (0 = auto from cpu_count)")
+        validate_workers(self.workers)
+        from .parallel.backend import check_backend
+
+        check_backend(self.executor_backend)
         if self.heartbeat_interval <= 0:
             raise ConfigError("heartbeat_interval must be > 0")
         if self.node_timeout < self.heartbeat_interval:
@@ -230,8 +269,22 @@ class AssemblyConfig:
             raise ConfigError("node_restarts must be >= 0")
 
     def resolved_workers(self) -> int:
-        """The effective worker-pool size (``0`` resolves to ``cpu_count``)."""
-        return self.workers or (os.cpu_count() or 1)
+        """The effective worker-pool size (``0`` resolves to ``cpu_count``).
+
+        Re-validates at resolve time: a worker count injected after
+        construction (e.g. derived from ``REPRO_WORKERS`` and written onto
+        an existing config) goes through the same :class:`ConfigError`
+        path as the field validation, instead of silently reaching the
+        executor.
+        """
+        workers = validate_workers(self.workers)
+        return workers or (os.cpu_count() or 1)
+
+    def resolved_backend(self) -> str:
+        """The effective executor backend (``auto`` resolves per workers)."""
+        from .parallel.backend import resolve_backend
+
+        return resolve_backend(self.executor_backend, self.resolved_workers())
 
     def with_memory(self, memory: MemoryConfig) -> "AssemblyConfig":
         """Return a copy using a different memory configuration."""

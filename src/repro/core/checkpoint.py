@@ -74,10 +74,12 @@ def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
     }
     payload["source"] = source_id
     del payload["keep_workdir"]
-    # Execution-only knob: any worker count produces byte-identical
-    # artifacts (asserted by tests/test_parallel_determinism.py), so a
-    # run may be resumed under a different REPRO_WORKERS setting.
+    # Execution-only knobs: any worker count or executor backend produces
+    # byte-identical artifacts (asserted by tests/test_parallel_determinism.py),
+    # so a run may be resumed under a different REPRO_WORKERS / REPRO_BACKEND
+    # setting.
     payload.pop("workers", None)
+    payload.pop("executor_backend", None)
     # Observation-only knob: tracing never changes artifacts, so a traced
     # run may resume an untraced one and vice versa.
     payload.pop("trace", None)

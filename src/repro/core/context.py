@@ -52,10 +52,13 @@ class RunContext:
         self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(
             lambda: self.clock.total_seconds)
         # The pipelined executor (workers=1 ⇒ pure serial). Output is
-        # byte-identical for any worker count; an armed fault plan forces
-        # serial execution at call time, whatever the config says.
+        # byte-identical for any worker count and backend; an armed fault
+        # plan forces serial execution at call time, whatever the config
+        # says. Built before any helper thread exists so the process
+        # backend can fork a single-threaded parent.
         self.executor = PipelineExecutor(config.resolved_workers(),
-                                         tracer=self.tracer)
+                                         tracer=self.tracer,
+                                         backend=config.resolved_backend())
         self.telemetry = Telemetry(tracer=self.tracer)
         self.telemetry.register(self.clock)
         self.telemetry.register(self.accountant)

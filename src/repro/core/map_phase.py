@@ -22,10 +22,15 @@ instead of ~2·L per-length Python record assemblies per batch.
 
 Execution is pipelined through :class:`~repro.parallel.PipelineExecutor`:
 a background producer prefetches packed-read batches off disk (depth 2)
-while pool workers fingerprint the in-flight batches. Partition appends —
+while pool workers fingerprint the in-flight batches. Under the
+``processes`` backend the batches instead travel 2-bit-packed through
+shared-memory segments to worker *processes* (see
+:func:`_fingerprint_task`), which write the finished record blocks into a
+shared output segment — no bulk pickling either way. Partition appends —
 and all modeled accounting (scratch reservations, kernel charges) — happen
 on the main thread in strict batch order, so partition files *and* modeled
-costs are identical for any worker count.
+costs are identical for any worker count and backend (both paths run the
+same :func:`_fingerprint_batch` kernel).
 """
 
 from __future__ import annotations
@@ -37,12 +42,17 @@ import numpy as np
 from ..errors import ConfigError
 from ..extmem import PartitionStore
 from ..extmem.records import AUX_FIELD, KEY_FIELD, VAL_FIELD, kv_dtype
+from ..fingerprint import FingerprintScheme
+from ..parallel import shm
 from ..seq.alphabet import reverse_complement
-from ..seq.packing import PackedReadStore
+from ..seq.packing import PackedReadStore, unpack_codes
 from .context import RunContext
 
 #: Batches the prefetch producer keeps in flight ahead of the workers.
 PREFETCH_DEPTH = 2
+
+#: Task path the process backend resolves inside its workers.
+_MAP_TASK = "repro.core.map_phase:_fingerprint_task"
 
 
 def per_read_device_bytes(read_length: int, lanes: int) -> int:
@@ -106,6 +116,78 @@ def _record_blocks(prefix_keys, suffix_keys, vertices: np.ndarray,
     return prefix_block, suffix_block
 
 
+def _fingerprint_batch(codes0: np.ndarray, read_ids: np.ndarray,
+                       scheme: FingerprintScheme, prefix_cols: np.ndarray,
+                       suffix_cols: np.ndarray, dtype: np.dtype):
+    """Pure-numpy fingerprint kernel for one batch, both orientations.
+
+    Returns ``(n_reads, [(codes_nbytes, (prefix_block, suffix_block)), …])``
+    — the single source of truth run by the serial path, the thread
+    workers, and the process workers alike, so no backend can drift.
+    """
+    orientations = []
+    for orientation in (0, 1):
+        codes = codes0 if orientation == 0 else reverse_complement(codes0)
+        vertices = (read_ids.astype(np.uint32) << np.uint32(1)) \
+            | np.uint32(orientation)
+        prefix_keys, suffix_keys = scheme.key_matrices(codes)
+        blocks = _record_blocks(prefix_keys, suffix_keys, vertices,
+                                prefix_cols, suffix_cols, dtype)
+        orientations.append((codes.nbytes, blocks))
+    return codes0.shape[0], orientations
+
+
+#: Per-process cache of fingerprint schemes (worker-side; keyed by config).
+_WORKER_SCHEMES: dict[tuple[int, int], FingerprintScheme] = {}
+
+
+def _fingerprint_task(payload: dict) -> dict:
+    """Process-backend map task: packed reads in, record blocks out.
+
+    The input segment holds the 2-bit-packed batch; the worker unpacks,
+    runs :func:`_fingerprint_batch`, and writes the four record blocks
+    (prefix/suffix × orientation) back-to-back into a fresh output
+    segment. Only segment names and a few scalars cross the pickle
+    boundary; the parent unlinks both segments after delivery.
+    """
+    read_length = payload["read_length"]
+    n = payload["n"]
+    bytes_per_read = -(-read_length // 4)
+    segment = shm.attach(payload["shm_in"])
+    try:
+        packed = shm.as_array(segment, (n, bytes_per_read), np.uint8)
+        codes0 = unpack_codes(packed, read_length)
+    finally:
+        segment.close()
+    key = (payload["lanes"], payload["seed"])
+    scheme = _WORKER_SCHEMES.get(key)
+    if scheme is None:
+        scheme = FingerprintScheme(lanes=key[0], seed=key[1])
+        _WORKER_SCHEMES[key] = scheme
+    lengths = np.arange(payload["l_min"], read_length, dtype=np.intp)
+    dtype = kv_dtype(payload["lanes"])
+    read_ids = payload["start"] + np.arange(n, dtype=np.uint64)
+    _, orientations = _fingerprint_batch(codes0, read_ids, scheme,
+                                         lengths - 1, read_length - lengths,
+                                         dtype)
+    out = shm.create(4 * lengths.shape[0] * n * dtype.itemsize)
+    shm.disown(out)  # the parent unlinks it after delivery
+    try:
+        stacked = shm.as_array(out, (4, lengths.shape[0], n), dtype)
+        stacked[0] = orientations[0][1][0]
+        stacked[1] = orientations[0][1][1]
+        stacked[2] = orientations[1][1][0]
+        stacked[3] = orientations[1][1][1]
+    except BaseException:
+        out.close()
+        shm.unlink(out.name)
+        raise
+    out.close()
+    return {"shm_out": out.name, "shm_in": payload["shm_in"], "n": n,
+            "n_lengths": int(lengths.shape[0]),
+            "codes_nbytes": (orientations[0][0], orientations[1][0])}
+
+
 def run_map(ctx: RunContext, store: PackedReadStore,
             partitions: PartitionStore | None = None, *,
             read_range: tuple[int, int] | None = None,
@@ -139,29 +221,73 @@ def run_map(ctx: RunContext, store: PackedReadStore,
     prefix_cols = lengths_arr - 1
     suffix_cols = read_length - lengths_arr
 
-    def batches():
-        for batch_start in range(start, stop, batch_reads):
-            yield store.read_slice(batch_start, min(batch_start + batch_reads, stop))
-
-    def fingerprint(batch):
-        """Worker-side compute: pure numpy, no modeled-hardware access."""
-        orientations = []
-        for orientation in (0, 1):
-            codes = batch.codes if orientation == 0 else reverse_complement(batch.codes)
-            vertices = (batch.read_ids.astype(np.uint32) << np.uint32(1)) \
-                | np.uint32(orientation)
-            prefix_keys, suffix_keys = ctx.scheme.key_matrices(codes)
-            blocks = _record_blocks(prefix_keys, suffix_keys, vertices,
-                                    prefix_cols, suffix_cols, dtype)
-            orientations.append((codes.nbytes, blocks))
-        return batch.n_reads, orientations
-
     executor = ctx.executor
     tracer = ctx.tracer
-    try:
-        stream = executor.map_ordered(
+
+    def thread_deliveries():
+        """Serial/threads path: decoded batches, closures on the pool."""
+        def batches():
+            for batch_start in range(start, stop, batch_reads):
+                yield store.read_slice(batch_start,
+                                       min(batch_start + batch_reads, stop))
+
+        def fingerprint(batch):
+            # Worker-side compute: pure numpy, no modeled-hardware access.
+            return _fingerprint_batch(batch.codes, batch.read_ids, ctx.scheme,
+                                      prefix_cols, suffix_cols, dtype)
+
+        yield from executor.map_ordered(
             fingerprint, executor.prefetch(batches(), depth=PREFETCH_DEPTH))
-        for n, orientations in stream:
+
+    def process_deliveries():
+        """Process path: packed bytes out via shm, record blocks back via shm.
+
+        The sequential packed reads happen on this side (same fault and
+        disk-accounting op order as the decoded path); workers run the
+        same :func:`_fingerprint_batch` kernel. Each delivered batch's
+        blocks are *views* into the worker's output segment — valid for
+        exactly one loop iteration, after which both segments are
+        unlinked.
+        """
+        pending_inputs: set[str] = set()
+
+        def payloads():
+            for batch_start in range(start, stop, batch_reads):
+                batch_stop = min(batch_start + batch_reads, stop)
+                packed = store.read_packed_slice(batch_start, batch_stop)
+                name = shm.put_array(packed)
+                pending_inputs.add(name)
+                yield {"shm_in": name, "n": batch_stop - batch_start,
+                       "start": batch_start, "read_length": read_length,
+                       "lanes": lanes, "seed": ctx.scheme.seed,
+                       "l_min": ctx.config.min_overlap}
+
+        try:
+            for result in executor.map_tasks(
+                    _MAP_TASK,
+                    executor.prefetch(payloads(), depth=PREFETCH_DEPTH)):
+                segment = shm.attach(result["shm_out"])
+                try:
+                    stacked = shm.as_array(
+                        segment, (4, result["n_lengths"], result["n"]), dtype)
+                    c0, c1 = result["codes_nbytes"]
+                    yield result["n"], [(c0, (stacked[0], stacked[1])),
+                                        (c1, (stacked[2], stacked[3]))]
+                finally:
+                    segment.close()
+                    shm.unlink(result["shm_out"])
+                    shm.unlink(result["shm_in"])
+                    pending_inputs.discard(result["shm_in"])
+        finally:
+            # Abandoned mid-stream (an exception downstream): input
+            # segments that never reached delivery must still be removed.
+            for name in list(pending_inputs):
+                shm.unlink(name)
+
+    deliveries = process_deliveries() if executor.process_parallel \
+        else thread_deliveries()
+    try:
+        for n, orientations in deliveries:
             n_batches += 1
             # Modeled accounting stays on the main thread, in batch order:
             # scratch reservations, kernel charges and partition appends
@@ -190,6 +316,9 @@ def run_map(ctx: RunContext, store: PackedReadStore,
                         appended += 1
                     ctx.gpu.charge_elementwise(2 * n * appended * dtype.itemsize)
     finally:
+        # Prompt generator cleanup: the process path's finally drains the
+        # in-flight window and unlinks every leftover shared-memory segment.
+        deliveries.close()
         # Even on an injected crash the writers must close: the in-process
         # crash loop re-runs the pipeline, and a stale _OPEN_PATHS entry
         # would wrongly reject the recovery run's writers.

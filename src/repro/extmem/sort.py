@@ -38,9 +38,11 @@ import numpy as np
 
 from ..device.gpu import VirtualGPU
 from ..device.memory import MemoryPool
-from ..errors import ConfigError
+from ..errors import ConfigError, DeviceMemoryError
 from ..faults import plan as faults
-from ..parallel import PipelineExecutor
+from ..parallel import PipelineExecutor, shm
+from ..parallel.process_backend import (RecordingClock, RecordingPool,
+                                        replay_device_log)
 from ..trace.tracer import NULL_TRACER
 from .io_stats import IOAccountant
 from .merge import merge_in_memory_k, merge_streams_k
@@ -67,6 +69,9 @@ DEVICE_KWAY_FOOTPRINT = 2
 #: Ceiling for the auto-derived merge fanout: past ~16 ways the windows
 #: shrink enough that per-window seek overhead erases the pass saving.
 MAX_AUTO_FANOUT = 16
+
+#: Task path the process backend resolves inside its workers.
+_SORT_TASK = "repro.extmem.sort:_sort_block_task"
 
 
 def derive_fanout(host_block_pairs: int, device_block_pairs: int) -> int:
@@ -270,6 +275,49 @@ class ExternalSorter:
                     stray.unlink()
                 scratch_dir.rmdir()
 
+    def _sorted_blocks_via_processes(self, reader: RunReader):
+        """Run-formation blocks sorted in worker processes.
+
+        Blocks are read here (sequential op order unchanged), shipped to
+        the workers through shared memory, sorted there against a
+        *recording* device, and the returned charge log is replayed onto
+        the real clock and pool at delivery — in submission order, so the
+        modeled-device trajectory is bit-identical to the serial schedule.
+        """
+        executor = self.executor
+        pending: set[str] = set()
+
+        def payloads():
+            while not reader.exhausted:
+                block = reader.read(self.host_block)
+                name = shm.put_array(block)
+                pending.add(name)
+                yield {"shm_in": name, "n": int(block.shape[0]),
+                       "dtype": self.dtype, "key_field": self.key_field,
+                       "m_h": self.m_h, "m_d": self.m_d,
+                       "fanout": self.fanout,
+                       "device_name": self.gpu.spec.name,
+                       "capacity_bytes": self.gpu.pool.capacity_bytes}
+
+        try:
+            for result in executor.map_tasks(_SORT_TASK, payloads()):
+                try:
+                    sorted_block = shm.get_array(result["shm_out"],
+                                                 (result["n"],), self.dtype)
+                finally:
+                    shm.unlink(result["shm_out"])
+                    shm.unlink(result["shm_in"])
+                    pending.discard(result["shm_in"])
+                with executor.device_lock:
+                    replay_device_log(result["log"], clock=self.gpu.clock,
+                                      pool=self.gpu.pool)
+                yield sorted_block
+        finally:
+            # Abandoned mid-stream: input segments that never reached
+            # delivery must still be removed.
+            for name in list(pending):
+                shm.unlink(name)
+
     def _sort_into(self, in_path: Path, out_path: Path,
                    scratch_dir: Path) -> SortReport:
         record_nbytes = self.dtype.itemsize
@@ -298,18 +346,26 @@ class ExternalSorter:
                 with executor.device_lock:
                     return self.sort_block_in_host(block)
 
-            for sorted_block in executor.map_ordered(sort_block, blocks()):
-                with self.host_pool.alloc(sorted_block.shape[0] * record_nbytes *
-                                          HOST_SORT_FOOTPRINT, label="sort-block"):
-                    n_records += sorted_block.shape[0]
-                    run_path = scratch_dir / f"run_{len(run_paths):05d}.run"
-                    # det=False: workers still sorting later blocks charge
-                    # the clock while this run is being written.
-                    with self.tracer.span("run:write", track="sort"), \
-                            RunWriter(run_path, self.dtype,
-                                      self.accountant) as writer:
-                        writer.append(sorted_block)
-                run_paths.append(run_path)
+            sorted_blocks = self._sorted_blocks_via_processes(reader) \
+                if executor.process_parallel \
+                else executor.map_ordered(sort_block, blocks())
+            try:
+                for sorted_block in sorted_blocks:
+                    with self.host_pool.alloc(sorted_block.shape[0] * record_nbytes *
+                                              HOST_SORT_FOOTPRINT, label="sort-block"):
+                        n_records += sorted_block.shape[0]
+                        run_path = scratch_dir / f"run_{len(run_paths):05d}.run"
+                        # det=False: workers still sorting later blocks charge
+                        # the clock while this run is being written.
+                        with self.tracer.span("run:write", track="sort"), \
+                                RunWriter(run_path, self.dtype,
+                                          self.accountant) as writer:
+                            writer.append(sorted_block)
+                    run_paths.append(run_path)
+            finally:
+                # Prompt cleanup on a mid-run exception: the process path
+                # drains its window and unlinks every leftover segment.
+                sorted_blocks.close()
             runs_span.note(runs=len(run_paths), records=n_records)
 
         initial_runs = len(run_paths)
@@ -359,11 +415,19 @@ class ExternalSorter:
                         # order-preserving, so the merged run is byte-for-byte
                         # the serial one. The sink closes (draining and
                         # re-raising any deferred write error) before the
-                        # ExitStack closes the writer underneath it.
-                        sources = [
-                            executor.read_ahead(r, self.host_kway_window,
-                                                lane=f"read-ahead-{i}")
-                            for i, r in enumerate(readers)]
+                        # ExitStack closes the writer underneath it. Each
+                        # wrapped source's close() is registered *after* its
+                        # reader entered the stack, so a failing merge joins
+                        # every producer thread before the file handle it
+                        # reads from is closed underneath it.
+                        sources = []
+                        for i, r in enumerate(readers):
+                            source = executor.read_ahead(
+                                r, self.host_kway_window,
+                                lane=f"read-ahead-{i}")
+                            if source is not r:
+                                stack.callback(source.close)
+                            sources.append(source)
                         with executor.write_behind(writer.append) as sink:
                             merge_streams_k(sources, sink.put,
                                             window_records=self.host_kway_window,
@@ -380,3 +444,44 @@ class ExternalSorter:
         faults.barrier(faults.RENAME, str(out_path))
         run_paths[0].replace(out_path)
         return SortReport(n_records, initial_runs, merge_rounds, self.fanout)
+
+
+def _sort_block_task(payload: dict) -> dict:
+    """Process-backend sort task: one unsorted host block in, sorted out.
+
+    The worker rebuilds a minimal sorter around a *recording* virtual
+    device (same spec, same capacity — a task that would blow the device
+    budget fails here exactly as it would inline) and runs the very same
+    level-2 :meth:`ExternalSorter.sort_block_in_host`. The sorted block
+    travels back through a fresh segment together with the device charge
+    log, which the parent replays onto the real clock and pool.
+    """
+    dtype = np.dtype(payload["dtype"])
+    segment = shm.attach(payload["shm_in"])
+    try:
+        block = shm.as_array(segment, (payload["n"],), dtype).copy()
+    finally:
+        segment.close()
+    log: list = []
+    gpu = VirtualGPU(payload["device_name"],
+                     capacity_bytes=payload["capacity_bytes"],
+                     clock=RecordingClock(log))
+    gpu.pool = RecordingPool("device", payload["capacity_bytes"],
+                             DeviceMemoryError, log)
+    sorter = ExternalSorter(gpu=gpu, host_pool=None, accountant=None,
+                            dtype=dtype, host_block_pairs=payload["m_h"],
+                            device_block_pairs=payload["m_d"],
+                            merge_fanout=payload["fanout"],
+                            key_field=payload["key_field"])
+    sorted_block = sorter.sort_block_in_host(block)
+    out = shm.create(sorted_block.nbytes)
+    shm.disown(out)  # the parent unlinks it after delivery
+    try:
+        shm.as_array(out, sorted_block.shape, dtype)[...] = sorted_block
+    except BaseException:
+        out.close()
+        shm.unlink(out.name)
+        raise
+    out.close()
+    return {"shm_out": out.name, "shm_in": payload["shm_in"],
+            "n": int(sorted_block.shape[0]), "log": log}

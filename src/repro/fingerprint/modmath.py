@@ -7,8 +7,6 @@ why this is the faithful substitution for the paper's 64-bit hash lanes.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from ..errors import ConfigError
@@ -32,15 +30,17 @@ def check_params(radix: int, prime: int) -> None:
         raise ConfigError(f"prime must be < 2^31 for overflow-free uint64 math, got {prime}")
 
 
-@lru_cache(maxsize=None)
 def place_values(radix: int, prime: int, length: int) -> np.ndarray:
     """``M[i] = radix**i mod prime`` for ``i in [0, length)`` (paper's M array).
 
-    Computed once per ``(radix, prime, length)`` and memoized — the paper
-    precomputes M once per program, whereas recomputing the Python loop on
-    every ``suffix_fingerprints_batch`` call burned time on every batch.
-    The cached array is frozen so no caller can corrupt later lookups;
-    ``lru_cache`` is thread-safe, which the pipelined map workers rely on.
+    The pure computation. Hot callers go through
+    :meth:`repro.fingerprint.rabin_karp.HashSpec.place_values`, which
+    memoizes per *spec instance* — an earlier process-global unbounded
+    ``lru_cache`` here kept every (radix, prime, length) triple of every
+    scheme ever constructed alive for the life of the process, and was
+    silently cold in forked sort/map workers while still growing in the
+    parent. The returned array is frozen so no caller can corrupt a
+    memoized copy downstream.
     """
     check_params(radix, prime)
     if length < 1:

@@ -17,24 +17,48 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .modmath import MODULUS_PRIMES, RADIX_PRIMES, check_params
+from .modmath import MODULUS_PRIMES, RADIX_PRIMES, check_params, place_values
 
 
 @dataclass(frozen=True)
 class HashSpec:
-    """One Rabin–Karp hash lane: a radix and a prime modulus."""
+    """One Rabin–Karp hash lane: a radix and a prime modulus.
+
+    Each instance memoizes its own place-value arrays (see
+    :meth:`place_values`): the cache lives and dies with the scheme that
+    owns the lane, so differently-parameterized schemes can never collide
+    in a process-wide table and a discarded scheme's arrays are collected
+    with it.
+    """
 
     radix: int
     prime: int
 
     def __post_init__(self) -> None:
         check_params(self.radix, self.prime)
+        # Not a dataclass field: the cache is identity state, excluded
+        # from eq/hash/repr, installed past the frozen guard.
+        object.__setattr__(self, "_place_cache", {})
 
     @staticmethod
     def lane(index: int) -> "HashSpec":
         """The ``index``-th standard lane from the parameter catalog."""
         return HashSpec(RADIX_PRIMES[index % len(RADIX_PRIMES)],
                         MODULUS_PRIMES[index % len(MODULUS_PRIMES)])
+
+    def place_values(self, length: int) -> np.ndarray:
+        """``σ^i mod q`` for ``i in [0, length)``, memoized on this spec.
+
+        The array is computed once per length per instance and returned
+        frozen. Benign under the pipelined thread workers: a race at worst
+        computes the identical immutable array twice, and dict get/set are
+        atomic under the GIL.
+        """
+        cached = self._place_cache.get(length)
+        if cached is None:
+            cached = place_values(self.radix, self.prime, length)
+            self._place_cache[length] = cached
+        return cached
 
     def fingerprint(self, codes: np.ndarray) -> int:
         """Fingerprint of a whole 1-D code array (Horner's rule)."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
-from .modmath import place_values, submod
+from .modmath import submod
 from .rabin_karp import HashSpec
 
 
@@ -63,7 +63,7 @@ def suffix_fingerprints_batch(prefix: np.ndarray, spec: HashSpec) -> np.ndarray:
         return prefix.copy()
     q = np.uint64(spec.prime)
     # places[i] = sigma^(L-i) mod q for i in [1, L)
-    places = place_values(spec.radix, spec.prime, length + 1)
+    places = spec.place_values(length + 1)
     full = prefix[:, -1:]
     out = np.empty_like(prefix)
     out[:, 0] = prefix[:, -1]

@@ -6,9 +6,22 @@ are bounded by bandwidth rather than by the sum of their parts. This
 package is the execution substrate for that overlap — a worker-pool
 executor whose result delivery is **submission-ordered**, so every
 downstream write is byte-identical to the serial run regardless of the
-worker count.
+worker count or backend.
+
+Layout:
+
+* :mod:`~repro.parallel.executor` — the :class:`PipelineExecutor` facade
+  and the read-ahead / write-behind primitives,
+* :mod:`~repro.parallel.backend` — backend names and ``auto`` resolution,
+* :mod:`~repro.parallel.thread_backend` — the thread worker pool,
+* :mod:`~repro.parallel.process_backend` — the multiprocessing pool and
+  the recorded-device charge-log protocol,
+* :mod:`~repro.parallel.shm` — shared-memory segments for zero-pickle
+  bulk transfer.
 """
 
+from .backend import CONCRETE_BACKENDS, VALID_BACKENDS, resolve_backend
 from .executor import PipelineExecutor, PrefetchingSource, WriteBehind
 
-__all__ = ["PipelineExecutor", "PrefetchingSource", "WriteBehind"]
+__all__ = ["PipelineExecutor", "PrefetchingSource", "WriteBehind",
+           "VALID_BACKENDS", "CONCRETE_BACKENDS", "resolve_backend"]

@@ -1,0 +1,46 @@
+"""Executor backend selection: ``serial`` | ``threads`` | ``processes``.
+
+The :class:`~repro.parallel.PipelineExecutor` facade owns the determinism
+rules (submission-order delivery, forced-serial under armed fault plans);
+a *backend* only decides where work runs:
+
+* ``serial`` — everything inline on the caller's thread, whatever the
+  worker count says. The paper-faithful reference schedule.
+* ``threads`` — the worker pool is a ``ThreadPoolExecutor``; numpy
+  releases the GIL on the large vectorized kernels, so threads overlap
+  I/O with compute but leave Python-level work GIL-bound.
+* ``processes`` — fingerprint scans and sort run formation additionally
+  ship to worker *processes* via shared-memory buffers
+  (:mod:`repro.parallel.shm`), escaping the GIL entirely; thread-based
+  read-ahead / write-behind still handles the I/O overlap.
+
+``auto`` (the config default) resolves to ``processes`` when the
+effective worker count exceeds 1, else ``serial``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+#: Backend names accepted by config / CLI (``auto`` resolves at run time).
+VALID_BACKENDS = ("auto", "serial", "threads", "processes")
+
+#: Concrete backends an executor can be built with.
+CONCRETE_BACKENDS = ("serial", "threads", "processes")
+
+
+def check_backend(name: str) -> str:
+    """Validate a backend name (including ``auto``); returns it normalized."""
+    normalized = str(name).strip().lower()
+    if normalized not in VALID_BACKENDS:
+        raise ConfigError(
+            f"executor backend must be one of {VALID_BACKENDS}, got {name!r}")
+    return normalized
+
+
+def resolve_backend(name: str, workers: int) -> str:
+    """Resolve ``auto`` against an effective worker count."""
+    normalized = check_backend(name)
+    if normalized != "auto":
+        return normalized
+    return "processes" if workers > 1 else "serial"

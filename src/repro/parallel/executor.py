@@ -1,12 +1,16 @@
 """The pipelined executor: double-buffered I/O + ordered worker-pool map.
 
-Three primitives cover every overlap pattern the pipeline needs:
+Four primitives cover every overlap pattern the pipeline needs:
 
 * :meth:`PipelineExecutor.map_ordered` — run a function over an item
-  stream on a worker pool with a bounded in-flight window, delivering
+  stream on the thread pool with a bounded in-flight window, delivering
   results in **submission order**. numpy releases the GIL on the large
   vectorized kernels that dominate each task, so threads give genuine
   parallelism without forking the virtual-hardware state.
+* :meth:`PipelineExecutor.map_tasks` — run *picklable task payloads* on
+  the worker-process pool (:mod:`repro.parallel.process_backend`), with
+  bulk data in shared-memory segments. Only used under the ``processes``
+  backend; delivery is submission-ordered exactly like ``map_ordered``.
 * :meth:`PipelineExecutor.prefetch` — a background producer draining an
   iterator into a bounded buffer (double-buffered reads: the next batch
   leaves the disk while the current one is being fingerprinted).
@@ -16,21 +20,29 @@ Three primitives cover every overlap pattern the pipeline needs:
 
 Determinism rules, enforced here so call sites cannot get them wrong:
 
-* ``workers=1`` (the default, paper-faithful serial mode) executes
-  everything inline on the caller's thread — zero threads, zero queues,
-  byte-for-byte and op-for-op identical to the pre-parallel code.
+* ``workers=1`` (the default, paper-faithful serial mode) and the
+  ``serial`` backend execute everything inline on the caller's thread —
+  zero threads, zero queues, byte-for-byte and op-for-op identical to the
+  pre-parallel code.
 * When a :class:`~repro.faults.plan.FaultPlan` is armed the executor
-  *degrades to serial automatically*, whatever ``workers`` says: fault
-  schedules pin failures to exact operation counts, and background I/O
-  would perturb the op ordering the chaos harness replays against.
+  *degrades to serial automatically*, whatever ``workers`` or the backend
+  say: fault schedules pin failures to exact operation counts, and
+  background work would perturb the op ordering the chaos harness replays
+  against. The guard is the single :attr:`PipelineExecutor.parallel`
+  property, consulted per call by **every** primitive — thread and
+  process paths alike — so no backend can silently run a chaos schedule
+  in parallel.
 * Result delivery is always submission-ordered, so partition appends,
   run writes and merge output are identical for any worker count.
 
-The ``device_lock`` serializes virtual-device work: the modeled GPU is
-one resource with a hard capacity pool, so concurrent block sorts would
-double the modeled peak device memory (and blow the pool) — exactly as
-two host threads cannot both fill a real 12 GB K40. Workers therefore
-overlap *host/disk* work with device work rather than device with device.
+The ``device_lock`` serializes virtual-device work on the thread paths:
+the modeled GPU is one resource with a hard capacity pool, so concurrent
+block sorts would double the modeled peak device memory (and blow the
+pool) — exactly as two host threads cannot both fill a real 12 GB K40.
+Process tasks instead run against per-worker *recording* devices and the
+parent replays their charge logs in submission order, which reproduces
+the serial clock and pool trajectories bit-for-bit (see
+:mod:`repro.parallel.process_backend`).
 """
 
 from __future__ import annotations
@@ -39,8 +51,8 @@ import os
 import queue
 import threading
 import time
+import weakref
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 import numpy as np
@@ -49,6 +61,9 @@ from ..errors import ConfigError
 from ..faults import plan as faults
 from ..telemetry import EventMeter
 from ..trace.tracer import NULL_TRACER
+from .backend import resolve_backend
+from .process_backend import ProcessBackend
+from .thread_backend import ThreadBackend, current_lane as _lane
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -59,34 +74,33 @@ _DONE = object()
 #: Default read-ahead / write-behind buffer depth (double buffering).
 DEFAULT_DEPTH = 2
 
-
-def _lane() -> str:
-    """The trace track for the current thread (one row per worker lane)."""
-    name = threading.current_thread().name
-    if name.startswith("repro-worker_"):
-        return "worker-" + name[len("repro-worker_"):]
-    if name.startswith("repro-"):
-        return name[len("repro-"):]
-    return "main"
+#: Seconds a helper thread gets to drain and exit when torn down early.
+JOIN_TIMEOUT_S = 5.0
 
 
 class PipelineExecutor:
     """Worker-pool executor with deterministic (submission-order) delivery.
 
     ``workers=1`` is the paper-faithful serial mode; ``workers=0`` derives
-    the pool size from ``os.cpu_count()``. The executor is also a
-    telemetry source: ``par_busy_s`` accumulates background busy seconds
-    (worker tasks, prefetch reads, write-behind writes) and ``par_wait_s``
-    the caller-thread seconds spent blocked on background work, so
+    the pool size from ``os.cpu_count()``. ``backend`` selects where work
+    runs (``serial`` | ``threads`` | ``processes``; ``auto`` resolves to
+    ``processes`` when the pool has more than one worker — construction
+    through :class:`~repro.core.context.RunContext` passes the config's
+    resolved backend). The executor is also a telemetry source:
+    ``par_busy_s`` accumulates background busy seconds (worker tasks,
+    prefetch reads, write-behind writes) and ``par_wait_s`` the
+    caller-thread seconds spent blocked on background work, so
     ``overlap_saved_s = par_busy_s − par_wait_s`` is the wall time the
     overlap removed relative to a serialized schedule.
     """
 
-    def __init__(self, workers: int = 1, *, tracer=None):
+    def __init__(self, workers: int = 1, *, tracer=None,
+                 backend: str = "threads"):
         workers = int(workers)
         if workers < 0:
             raise ConfigError("workers must be >= 0 (0 = auto from cpu_count)")
         self.workers = workers or (os.cpu_count() or 1)
+        self.backend = resolve_backend(backend, self.workers)
         self.meter = EventMeter()
         # Lifecycle spans (cat="executor", args kind=busy/wait) are
         # recorded from the very same perf_counter stamps as the meter
@@ -95,35 +109,47 @@ class PipelineExecutor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Serializes modeled-device work (one virtual GPU, one capacity pool).
         self.device_lock = threading.Lock()
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_guard = threading.Lock()
+        self._threads = ThreadBackend(self.workers)
+        #: Live read-ahead sources, closed (joined) at shutdown even if a
+        #: failed run abandoned them mid-stream.
+        self._sources: "weakref.WeakSet[PrefetchingSource]" = weakref.WeakSet()
+        # The process pool forks eagerly, before any helper thread exists
+        # (RunContext builds its executor first), so the children never
+        # inherit a mid-operation lock. Under an armed fault plan the run
+        # is forced serial anyway — don't fork workers that cannot be used.
+        self._processes: ProcessBackend | None = None
+        if self.backend == "processes" and self.workers > 1 \
+                and faults.active_plan() is None:
+            self._processes = ProcessBackend(self.workers)
 
     # -- mode -----------------------------------------------------------------
 
     @property
     def parallel(self) -> bool:
-        """Whether background threads may be used *right now*.
+        """Whether background threads/processes may be used *right now*.
 
-        False in serial mode and whenever a fault plan is armed — fault
-        op-counts must stay exact, so chaos runs are always serial.
+        False in serial mode (``workers=1`` or the ``serial`` backend) and
+        whenever a fault plan is armed — fault op-counts must stay exact,
+        so chaos runs are always serial, under **every** backend.
         """
-        return self.workers > 1 and faults.active_plan() is None
+        return self.workers > 1 and self.backend != "serial" \
+            and faults.active_plan() is None
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._pool_guard:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-worker")
-            return self._pool
+    @property
+    def process_parallel(self) -> bool:
+        """Whether task payloads would ship to worker processes right now."""
+        return self.parallel and self._processes is not None
 
     def shutdown(self) -> None:
-        """Tear down the worker pool (idempotent; serial mode is a no-op)."""
-        with self._pool_guard:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+        """Tear down pools and helper threads (idempotent)."""
+        for source in list(self._sources):
+            source.close()
+        self._sources.clear()
+        self._threads.shutdown()
+        if self._processes is not None:
+            self._processes.shutdown()
 
-    # -- ordered map ----------------------------------------------------------
+    # -- ordered map (thread pool / inline) ------------------------------------
 
     def map_ordered(self, fn: Callable[[T], R], items: Iterable[T], *,
                     window: int | None = None) -> Iterator[R]:
@@ -136,39 +162,46 @@ class PipelineExecutor:
         op ordering); a worker exception re-raises here with its original
         traceback when its result's turn comes.
         """
-        if not self.parallel:
-            for item in items:
-                yield fn(item)
-            return
-        if window is None:
-            window = self.workers + DEFAULT_DEPTH
-        if window < 1:
-            raise ConfigError("map_ordered window must be >= 1")
-        pool = self._ensure_pool()
-        pending: deque = deque()
-
-        def timed(item: T) -> R:
-            begin = time.perf_counter()
-            try:
-                return fn(item)
-            finally:
-                end = time.perf_counter()
-                self.meter.bump("par_busy_s", end - begin)
-                self.meter.bump("par_tasks")
-                if self.tracer.enabled:
-                    self.tracer.complete("task", begin, end, track=_lane(),
-                                         cat="executor", kind="busy")
-
         try:
-            for item in items:
-                pending.append(pool.submit(timed, item))
-                if len(pending) >= window:
+            if not self.parallel:
+                for item in items:
+                    yield fn(item)
+                return
+            if window is None:
+                window = self.workers + DEFAULT_DEPTH
+            if window < 1:
+                raise ConfigError("map_ordered window must be >= 1")
+            pending: deque = deque()
+
+            def timed(item: T) -> R:
+                begin = time.perf_counter()
+                try:
+                    return fn(item)
+                finally:
+                    end = time.perf_counter()
+                    self.meter.bump("par_busy_s", end - begin)
+                    self.meter.bump("par_tasks")
+                    if self.tracer.enabled:
+                        self.tracer.complete("task", begin, end, track=_lane(),
+                                             cat="executor", kind="busy")
+
+            try:
+                for item in items:
+                    pending.append(self._threads.submit(timed, item))
+                    if len(pending) >= window:
+                        yield self._await(pending.popleft())
+                while pending:
                     yield self._await(pending.popleft())
-            while pending:
-                yield self._await(pending.popleft())
+            finally:
+                for future in pending:
+                    future.cancel()
         finally:
-            for future in pending:
-                future.cancel()
+            # A mid-map exception must not strand the upstream producer:
+            # closing a generator input runs its finally blocks (prefetch
+            # joins its thread) so no helper outlives the failed call.
+            close = getattr(items, "close", None)
+            if close is not None:
+                close()
 
     def _await(self, future) -> Any:
         begin = time.perf_counter()
@@ -181,6 +214,70 @@ class PipelineExecutor:
                 self.tracer.complete("await", begin, end, track=_lane(),
                                      cat="executor", kind="wait")
 
+    # -- ordered map (process pool) --------------------------------------------
+
+    def map_tasks(self, task_path: str, payloads: Iterable[dict], *,
+                  window: int | None = None) -> Iterator[dict]:
+        """Run picklable payloads through ``task_path`` on worker processes.
+
+        ``task_path`` names a module-level function (``"module:function"``)
+        resolved inside each worker; payloads and results are small dicts,
+        with bulk data passed as shared-memory segment names (see
+        :mod:`repro.parallel.shm`). Delivery is submission-ordered. When
+        process parallelism is unavailable *right now* (serial mode, armed
+        fault plan, or a non-process backend) the task function runs
+        inline on the caller's thread — same code, same results, no pool.
+        """
+        try:
+            yield from self._map_tasks(task_path, payloads, window)
+        finally:
+            # A mid-map exception must not strand the upstream producer:
+            # closing a generator input runs its finally blocks (prefetch
+            # joins its thread) so no helper outlives the failed call.
+            close = getattr(payloads, "close", None)
+            if close is not None:
+                close()
+
+    def _map_tasks(self, task_path: str, payloads: Iterable[dict],
+                   window: int | None) -> Iterator[dict]:
+        if not self.process_parallel:
+            from .process_backend import resolve_task
+
+            fn = resolve_task(task_path)
+            for payload in payloads:
+                yield fn(payload)
+            return
+        if window is None:
+            window = self.workers + DEFAULT_DEPTH
+        if window < 1:
+            raise ConfigError("map_tasks window must be >= 1")
+        stream = self._processes.map_tasks(task_path, payloads, window=window)
+        try:
+            while True:
+                begin = time.perf_counter()
+                try:
+                    result, busy, worker_id = next(stream)
+                except StopIteration:
+                    return
+                finally:
+                    end = time.perf_counter()
+                    self.meter.bump("par_wait_s", end - begin)
+                    if self.tracer.enabled:
+                        self.tracer.complete("await", begin, end, track=_lane(),
+                                             cat="executor", kind="wait")
+                self.meter.bump("par_busy_s", busy)
+                self.meter.bump("par_tasks")
+                if self.tracer.enabled:
+                    # The worker's own busy window, pinned so it ends at
+                    # delivery (det=False wall spans; the deterministic sim
+                    # trace never contains executor lanes).
+                    self.tracer.complete("task", end - busy, end,
+                                         track=f"proc-worker-{worker_id}",
+                                         cat="executor", kind="busy")
+                yield result
+        finally:
+            stream.close()
+
     # -- prefetch (double-buffered producer) ----------------------------------
 
     def prefetch(self, items: Iterable[T], *,
@@ -190,7 +287,9 @@ class PipelineExecutor:
         The producer runs on a dedicated thread (never a pool worker, so
         a full buffer can never starve :meth:`map_ordered` tasks into a
         deadlock). Producer exceptions re-raise at the consumer's next
-        pull; an empty iterator yields nothing.
+        pull; an empty iterator yields nothing. Closing the generator
+        early (e.g. a downstream exception unwinding ``map_ordered``)
+        stops and joins the producer thread.
         """
         if not self.parallel:
             yield from items
@@ -198,11 +297,12 @@ class PipelineExecutor:
         if depth < 1:
             raise ConfigError("prefetch depth must be >= 1")
         buffer: queue.Queue = queue.Queue(maxsize=depth)
+        stop = threading.Event()
 
         def produce() -> None:
             iterator = iter(items)
             try:
-                while True:
+                while not stop.is_set():
                     begin = time.perf_counter()
                     try:
                         item = next(iterator)
@@ -214,29 +314,37 @@ class PipelineExecutor:
                         self.tracer.complete("produce", begin, end,
                                              track=_lane(), cat="executor",
                                              kind="busy")
-                    buffer.put(item)
+                    if not _put_until_stopped(buffer, item, stop):
+                        return
             except BaseException as exc:  # noqa: BLE001 — relayed to consumer
-                buffer.put((_DONE, exc))
+                _put_until_stopped(buffer, (_DONE, exc), stop)
                 return
-            buffer.put((_DONE, None))
+            _put_until_stopped(buffer, (_DONE, None), stop)
 
         thread = threading.Thread(target=produce, name="repro-prefetch",
                                   daemon=True)
         thread.start()
-        while True:
-            begin = time.perf_counter()
-            item = buffer.get()
-            end = time.perf_counter()
-            self.meter.bump("par_wait_s", end - begin)
-            if self.tracer.enabled:
-                self.tracer.complete("get", begin, end, track=_lane(),
-                                     cat="executor", kind="wait")
-            if isinstance(item, tuple) and len(item) == 2 and item[0] is _DONE:
-                thread.join()
-                if item[1] is not None:
-                    raise item[1]
-                return
-            yield item
+        try:
+            while True:
+                begin = time.perf_counter()
+                item = buffer.get()
+                end = time.perf_counter()
+                self.meter.bump("par_wait_s", end - begin)
+                if self.tracer.enabled:
+                    self.tracer.complete("get", begin, end, track=_lane(),
+                                         cat="executor", kind="wait")
+                if isinstance(item, tuple) and len(item) == 2 \
+                        and item[0] is _DONE:
+                    thread.join()
+                    if item[1] is not None:
+                        raise item[1]
+                    return
+                yield item
+        finally:
+            # Early close: release the producer (it may be blocked on a
+            # full buffer) and join it so no thread outlives the stream.
+            stop.set()
+            _drain_and_join(buffer, thread)
 
     # -- read-ahead / write-behind sinks --------------------------------------
 
@@ -250,9 +358,11 @@ class PipelineExecutor:
         """
         if not self.parallel:
             return source
-        return PrefetchingSource(source, chunk_records, depth=depth,
-                                 meter=self.meter, tracer=self.tracer,
-                                 lane=lane)
+        wrapped = PrefetchingSource(source, chunk_records, depth=depth,
+                                    meter=self.meter, tracer=self.tracer,
+                                    lane=lane)
+        self._sources.add(wrapped)
+        return wrapped
 
     def write_behind(self, write_fn: Callable[[Any], None], *,
                      depth: int = DEFAULT_DEPTH) -> "WriteBehind":
@@ -260,6 +370,35 @@ class PipelineExecutor:
         return WriteBehind(write_fn, depth=depth,
                            serial=not self.parallel, meter=self.meter,
                            tracer=self.tracer)
+
+
+def _put_until_stopped(buffer: queue.Queue, item, stop: threading.Event,
+                       poll_s: float = 0.1) -> bool:
+    """``buffer.put(item)`` that gives up once ``stop`` is set.
+
+    Returns False if the put was abandoned. The poll interval only matters
+    during teardown; on the hot path the first put attempt succeeds.
+    """
+    while True:
+        try:
+            buffer.put(item, timeout=poll_s)
+            return True
+        except queue.Full:
+            if stop.is_set():
+                return False
+
+
+def _drain_and_join(buffer: queue.Queue, thread: threading.Thread,
+                    timeout: float = JOIN_TIMEOUT_S) -> None:
+    """Unblock a producer stuck on a full buffer, then join it."""
+    deadline = time.monotonic() + timeout
+    while thread.is_alive() and time.monotonic() < deadline:
+        try:
+            while True:
+                buffer.get_nowait()
+        except queue.Empty:
+            pass
+        thread.join(timeout=0.05)
 
 
 class PrefetchingSource:
@@ -271,7 +410,9 @@ class PrefetchingSource:
     Byte order is untouched; only the read *timing* changes. The producer
     exits when the underlying source is exhausted, which always happens
     before the consumer observes exhaustion, so closing the underlying
-    reader afterwards is race-free.
+    reader afterwards is race-free. :meth:`close` tears the producer down
+    early (a failed run must not leave a thread holding the reader's file
+    handle); call it before closing the underlying reader.
     """
 
     def __init__(self, source, chunk_records: int, *,
@@ -285,12 +426,14 @@ class PrefetchingSource:
         self._done = False
         self._error: BaseException | None = None
         self._meter = meter
+        self._stop = threading.Event()
         tracer = tracer if tracer is not None else NULL_TRACER
         self._tracer = tracer
+        stop = self._stop
 
         def produce() -> None:
             try:
-                while True:
+                while not stop.is_set():
                     begin = time.perf_counter()
                     chunk = source.read(chunk_records)
                     end = time.perf_counter()
@@ -301,16 +444,28 @@ class PrefetchingSource:
                                         cat="executor", kind="busy",
                                         records=int(chunk.shape[0]))
                     if chunk.shape[0] == 0:
-                        self._buffer.put(_DONE)
+                        _put_until_stopped(self._buffer, _DONE, stop)
                         return
-                    self._buffer.put(chunk)
+                    if not _put_until_stopped(self._buffer, chunk, stop):
+                        return
             except BaseException as exc:  # noqa: BLE001 — relayed to consumer
                 self._error = exc
-                self._buffer.put(_DONE)
+                _put_until_stopped(self._buffer, _DONE, stop)
 
         self._thread = threading.Thread(target=produce, name="repro-read-ahead",
                                         daemon=True)
         self._thread.start()
+
+    def close(self) -> None:
+        """Stop and join the producer thread (idempotent).
+
+        Safe to call whatever state the stream is in; pending buffered
+        chunks are discarded. The underlying reader is *not* closed here —
+        its owner does that, after this join guarantees no concurrent read.
+        """
+        self._done = True
+        self._stop.set()
+        _drain_and_join(self._buffer, self._thread)
 
     def _next_chunk(self) -> np.ndarray | None:
         if self._done:

@@ -1,0 +1,285 @@
+"""The multiprocessing worker pool and its modeled-hardware protocol.
+
+Worker processes run *tasks*: module-level functions named by an
+``"module:function"`` path (import-path dispatch keeps the protocol
+spawn-safe and guarantees the worker runs the same kernel code as the
+serial path — there is no second implementation to drift). Task payloads
+and results are small picklable dicts; bulk data travels through named
+shared-memory segments (:mod:`repro.parallel.shm`), so nothing big is
+ever pickled.
+
+Modeled hardware across the process boundary
+--------------------------------------------
+
+The virtual GPU (capacity pool + simulated clock) lives in the parent —
+its counters, peaks and simulated seconds must be byte-identical to the
+serial schedule. A worker cannot charge it directly, and the charges of a
+sort task cannot be recomputed from sizes alone (the k-way merge window
+schedule is data-dependent). So workers run their compute against a
+*recording* device — :class:`RecordingClock` and :class:`RecordingPool`
+log every ``charge``/``alloc``/``free`` event in execution order while
+still enforcing the real capacity — and return the log with the result.
+The parent replays the log against the real clock and pools at delivery
+time, in submission order: the identical float charges are summed in the
+serial order, and the identical allocation interleaving reproduces the
+serial peaks and counts exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator
+
+from ..device.clock import SimClock
+from ..device.memory import Allocation, MemoryPool
+from ..errors import ConfigError, ReproError
+
+#: Seconds granted to worker processes to exit cleanly at shutdown.
+SHUTDOWN_TIMEOUT_S = 5.0
+
+#: Per-process cache of resolved task functions (populated in workers).
+_TASK_CACHE: dict[str, Callable[[dict], dict]] = {}
+
+
+def resolve_task(path: str) -> Callable[[dict], dict]:
+    """Resolve an ``"module:function"`` task path (cached per process)."""
+    fn = _TASK_CACHE.get(path)
+    if fn is None:
+        import importlib
+
+        module_name, _, attr = path.partition(":")
+        if not module_name or not attr:
+            raise ConfigError(f"task path must be 'module:function', got {path!r}")
+        fn = getattr(importlib.import_module(module_name), attr)
+        _TASK_CACHE[path] = fn
+    return fn
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: ``(seq, path, payload)`` in, ``(seq, ok, …)`` out."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        seq, path, payload = item
+        begin = time.perf_counter()
+        try:
+            result = resolve_task(path)(payload)
+            busy = time.perf_counter() - begin
+            result_queue.put((seq, True, result, busy, worker_id))
+        except BaseException as exc:  # noqa: BLE001 — relayed to the parent
+            busy = time.perf_counter() - begin
+            detail = traceback.format_exc()
+            try:
+                result_queue.put((seq, False, (exc, detail), busy, worker_id))
+            except Exception:  # exception not picklable: ship a summary
+                fallback = ReproError(f"{type(exc).__name__}: {exc}")
+                result_queue.put((seq, False, (fallback, detail), busy,
+                                  worker_id))
+
+
+class ProcessBackend:
+    """A pool of task-running worker processes with ordered delivery.
+
+    Workers are started eagerly at construction — the caller creates the
+    backend before any helper threads exist, so ``fork`` (preferred where
+    available: it inherits warm imports) never snapshots a multithreaded
+    parent.
+    """
+
+    name = "processes"
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ConfigError("process backend needs workers >= 1")
+        self.workers = workers
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        # Start the shared-memory resource tracker *before* forking: forked
+        # workers then inherit its pipe and every register/unregister lands
+        # in one tracker, instead of each worker lazily spawning its own
+        # (whose ledger the parent's unlinks could never reach).
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        self._tasks = self._context.SimpleQueue()
+        self._results = self._context.SimpleQueue()
+        self._procs = [
+            self._context.Process(target=_worker_main,
+                                  args=(i, self._tasks, self._results),
+                                  name=f"repro-proc-worker-{i}", daemon=True)
+            for i in range(workers)]
+        for proc in self._procs:
+            proc.start()
+        self._closed = False
+
+    def map_tasks(self, task_path: str, payloads: Iterable[dict], *,
+                  window: int) -> Iterator[tuple[dict, float, int]]:
+        """Run payloads through the pool, yielding in submission order.
+
+        Yields ``(result, busy_seconds, worker_id)`` per payload. A worker
+        exception re-raises here (with the worker traceback attached as an
+        exception note) when its result's turn comes, exactly like the
+        thread pool's ordered map.
+        """
+        if self._closed:
+            raise ConfigError("process backend used after shutdown")
+        if window < 1:
+            raise ConfigError("map_tasks window must be >= 1")
+        ready: dict[int, tuple] = {}
+        submitted = 0
+        received = 0
+
+        def deliver(seq: int) -> tuple[dict, float, int]:
+            nonlocal received
+            while seq not in ready:
+                entry = self._results.get()
+                received += 1
+                ready[entry[0]] = entry
+            _, ok, result, busy, worker_id = ready.pop(seq)
+            if not ok:
+                exc, detail = result
+                if hasattr(exc, "add_note"):
+                    exc.add_note(f"[worker process traceback]\n{detail}")
+                raise exc
+            return result, busy, worker_id
+
+        try:
+            delivered = 0
+            for payload in payloads:
+                self._tasks.put((submitted, task_path, payload))
+                submitted += 1
+                if submitted - delivered >= window:
+                    yield deliver(delivered)
+                    delivered += 1
+            while delivered < submitted:
+                yield deliver(delivered)
+                delivered += 1
+        finally:
+            # On early exit, drain outstanding results so stale sequence
+            # numbers can never bleed into a later map_tasks call, and
+            # unlink any shared segments the abandoned results reference.
+            for _ in range(submitted - received):
+                ready[-1] = self._results.get()
+                self._discard(ready.pop(-1))
+            for entry in ready.values():
+                self._discard(entry)
+            ready.clear()
+
+    @staticmethod
+    def _discard(entry: tuple) -> None:
+        """Release the shared segments of a result that will never be used."""
+        from . import shm
+
+        _, ok, result, _, _ = entry
+        if ok and isinstance(result, dict):
+            for key in ("shm_in", "shm_out"):
+                name = result.get(key)
+                if name:
+                    shm.unlink(name)
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent); stragglers are terminated."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):
+                break
+        deadline = time.monotonic() + SHUTDOWN_TIMEOUT_S
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+
+# -- modeled-hardware capture & replay ---------------------------------------
+
+
+class RecordingClock(SimClock):
+    """A :class:`SimClock` that also appends every charge to a log."""
+
+    def __init__(self, log: list):
+        super().__init__()
+        self._log = log
+
+    def charge(self, category: str, seconds: float) -> None:
+        """Charge the clock (validating category/sign) and log the event."""
+        super().charge(category, seconds)
+        self._log.append(("charge", category, seconds))
+
+
+class RecordingPool(MemoryPool):
+    """A :class:`MemoryPool` that logs the alloc/free interleaving.
+
+    Capacity is still enforced during the worker's compute (a task that
+    would blow the device budget fails in the worker exactly as it would
+    have inline); the log lets the parent reproduce the same usage curve
+    on the real pool.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int, exhausted_error,
+                 log: list):
+        super().__init__(name, capacity_bytes, exhausted_error)
+        self._log = log
+
+    def alloc(self, nbytes: int, *, label: str = "") -> Allocation:
+        """Reserve capacity (enforced) and log the allocation event."""
+        allocation = super().alloc(nbytes, label=label)
+        self._log.append(("alloc", int(nbytes), label))
+        return allocation
+
+    def _release(self, nbytes: int) -> None:
+        super()._release(nbytes)
+        self._log.append(("free", int(nbytes)))
+
+
+def replay_device_log(log: Iterable[tuple], *, clock: SimClock,
+                      pool: MemoryPool) -> None:
+    """Apply a worker's recorded device events to the real clock and pool.
+
+    Charges are identical floats applied in identical order, so the
+    simulated clock matches the serial schedule bit-for-bit; allocations
+    and frees are matched FIFO per size (only amounts drive used/peak), so
+    the pool's peaks and counters match too.
+    """
+    outstanding: dict[int, deque[Allocation]] = {}
+    try:
+        for event in log:
+            kind = event[0]
+            if kind == "charge":
+                clock.charge(event[1], event[2])
+            elif kind == "alloc":
+                outstanding.setdefault(event[1], deque()).append(
+                    pool.alloc(event[1], label=event[2]))
+            elif kind == "free":
+                outstanding[event[1]].popleft().free()
+            else:
+                raise ConfigError(f"unknown device-log event {kind!r}")
+    finally:
+        # Never leak pool capacity, even on a malformed log.
+        for allocations in outstanding.values():
+            for allocation in allocations:
+                allocation.free()
+
+
+# -- introspection helpers (used by tests) -----------------------------------
+
+
+def _probe_task(payload: dict) -> dict:
+    """Echo task reporting which process ran it (test/debug helper)."""
+    import os
+
+    return {"pid": os.getpid(), **payload}
+
+
+def _failing_probe_task(payload: dict) -> dict:
+    """Probe variant that always raises (exception-relay test helper)."""
+    raise RuntimeError(f"probe failure on {payload!r}")

@@ -1,0 +1,101 @@
+"""Named shared-memory segments for zero-pickle bulk transfer.
+
+The process backend ships only *descriptors* (segment name + shape +
+dtype) through its task queues; the bulk payloads — packed read blocks,
+fingerprint record blocks, sorted KV runs — live in
+``multiprocessing.shared_memory`` segments that both sides map directly.
+One copy in (producer), one copy or direct view out (consumer), nothing
+pickled on the hot path.
+
+Lifecycle protocol (single-owner unlink):
+
+* the side that *creates* a segment closes its own mapping as soon as the
+  data is written; the name alone travels in the task payload,
+* the consumer attaches, reads, closes — and the **parent process**
+  unlinks every segment (its own inputs and worker-created outputs) once
+  the result is delivered, so a clean run leaves nothing in ``/dev/shm``,
+* :func:`attach` detaches the mapping from Python's ``resource_tracker``:
+  on 3.11 the tracker registers segments on *attach* as well as create,
+  and a worker exiting would otherwise unlink segments the parent still
+  owns (and spam ``KeyError`` warnings at interpreter shutdown).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+def create(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a new anonymous-named segment of at least one byte."""
+    return shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
+
+
+def disown(segment: shared_memory.SharedMemory) -> None:
+    """Drop this process's unlink responsibility for a segment it created.
+
+    Worker tasks create *output* segments whose names travel back to the
+    parent, which unlinks them after delivery. Without disowning, the
+    worker-side resource tracker would try to unlink them again at worker
+    exit (ENOENT warnings — or worse, a racing unlink of a reused name).
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # noqa: BLE001 — tracker internals vary across 3.x
+        pass
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting unlink responsibility."""
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        # Attach-side registration would make *this* process's resource
+        # tracker unlink the segment at exit; the creator owns unlinking.
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # noqa: BLE001 — tracker internals vary across 3.x
+        pass
+    return segment
+
+
+def unlink(name: str) -> None:
+    """Remove a segment by name (idempotent: a missing segment is fine)."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def as_array(segment: shared_memory.SharedMemory, shape, dtype) -> np.ndarray:
+    """A numpy view over a segment's buffer (no copy).
+
+    The view is only valid while ``segment`` is open; copy before closing
+    if the data must outlive the mapping.
+    """
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+
+def put_array(array: np.ndarray) -> str:
+    """Copy ``array`` into a fresh segment; returns the segment name.
+
+    The local mapping is closed before returning — only the name travels.
+    """
+    array = np.ascontiguousarray(array)
+    segment = create(array.nbytes)
+    as_array(segment, array.shape, array.dtype)[...] = array
+    segment.close()
+    return segment.name
+
+
+def get_array(name: str, shape, dtype) -> np.ndarray:
+    """Copy a segment's contents out as a regular array and detach."""
+    segment = attach(name)
+    try:
+        return as_array(segment, shape, dtype).copy()
+    finally:
+        segment.close()

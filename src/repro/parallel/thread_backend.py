@@ -1,0 +1,50 @@
+"""The thread worker pool behind :class:`~repro.parallel.PipelineExecutor`.
+
+A thin lifecycle wrapper over ``ThreadPoolExecutor``: lazy start (serial
+runs never spawn a thread), idempotent shutdown, and the thread-name
+prefix the tracer's lane mapping keys on. The facade owns submission
+order, metering and tracing; this class only runs callables.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+
+def current_lane() -> str:
+    """The trace track for the current thread (one row per worker lane)."""
+    name = threading.current_thread().name
+    if name.startswith("repro-worker_"):
+        return "worker-" + name[len("repro-worker_"):]
+    if name.startswith("repro-"):
+        return name[len("repro-"):]
+    return "main"
+
+
+class ThreadBackend:
+    """Lazily started, idempotently stopped thread pool."""
+
+    name = "threads"
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._guard = threading.Lock()
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Schedule ``fn(*args)`` on the pool (starting it on first use)."""
+        with self._guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-worker")
+            pool = self._pool
+        return pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        """Tear the pool down (no-op if it never started)."""
+        with self._guard:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -175,8 +175,15 @@ class PackedReadStore:
 
     # -- reading -----------------------------------------------------------
 
-    def read_slice(self, start: int, stop: int) -> ReadBatch:
-        """Random-access decode of reads ``[start, stop)`` (read mode only)."""
+    def read_packed_slice(self, start: int, stop: int) -> np.ndarray:
+        """Raw packed bytes of reads ``[start, stop)`` as ``(n, ceil(L/4))``.
+
+        The 2-bit-packed form is ~4× smaller than the decoded code matrix,
+        which is what the process-backed map phase ships through shared
+        memory (workers unpack on their own CPU). Same fault-injection and
+        disk-accounting path as :meth:`read_slice` — the decoded variant
+        is exactly ``unpack_codes`` over this.
+        """
         if self._mode != "r":
             raise StreamProtocolError("store is open write-only")
         if not 0 <= start <= stop <= self._n_reads:
@@ -187,7 +194,11 @@ class PackedReadStore:
                                  self._handle.read(count * self._bytes_per_read))
         if self._meter is not None:
             self._meter.add_read(len(raw))
-        packed = np.frombuffer(raw, dtype=np.uint8).reshape(count, self._bytes_per_read)
+        return np.frombuffer(raw, dtype=np.uint8).reshape(count, self._bytes_per_read)
+
+    def read_slice(self, start: int, stop: int) -> ReadBatch:
+        """Random-access decode of reads ``[start, stop)`` (read mode only)."""
+        packed = self.read_packed_slice(start, stop)
         return ReadBatch(unpack_codes(packed, self._read_length), start_id=start)
 
     def iter_batches(self, batch_reads: int) -> Iterator[ReadBatch]:

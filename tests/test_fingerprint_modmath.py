@@ -70,3 +70,43 @@ class TestModOps:
         prime = 13
         out = mulmod(np.array([3, 5], dtype=np.uint64), 7, prime)
         assert out.tolist() == [21 % 13, 35 % 13]
+
+
+class TestPerSchemeCache:
+    """place_values memoization lives on the HashSpec, not the process.
+
+    The old process-global ``lru_cache`` grew without bound across
+    schemes and started cold in forked workers; the per-spec cache is
+    owned (and collected) with the scheme that uses it.
+    """
+
+    def test_two_schemes_do_not_collide(self):
+        from repro.fingerprint.rabin_karp import HashSpec
+
+        a = HashSpec(RADIX_PRIMES[0], MODULUS_PRIMES[0])
+        b = HashSpec(RADIX_PRIMES[1], MODULUS_PRIMES[1])
+        va, vb = a.place_values(40), b.place_values(40)
+        for i in (0, 17, 39):
+            assert int(va[i]) == pow(a.radix, i, a.prime)
+            assert int(vb[i]) == pow(b.radix, i, b.prime)
+        # Interleaved reuse must hit each spec's own cache entry.
+        assert a.place_values(40) is va
+        assert b.place_values(40) is vb
+        assert not np.array_equal(va, vb)
+
+    def test_cache_is_per_instance_state(self):
+        from repro.fingerprint.rabin_karp import HashSpec
+
+        a = HashSpec(RADIX_PRIMES[0], MODULUS_PRIMES[0])
+        b = HashSpec(RADIX_PRIMES[0], MODULUS_PRIMES[0])
+        assert a == b  # the cache is excluded from dataclass equality
+        a.place_values(16)
+        assert 16 in a._place_cache and 16 not in b._place_cache
+
+    def test_module_function_is_uncached(self):
+        # The pure computation has no memo: two calls return fresh
+        # (frozen) arrays, so no global table can grow without bound.
+        one = place_values(RADIX_PRIMES[0], MODULUS_PRIMES[0], 12)
+        two = place_values(RADIX_PRIMES[0], MODULUS_PRIMES[0], 12)
+        assert one is not two
+        assert not one.flags.writeable

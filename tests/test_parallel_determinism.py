@@ -1,11 +1,14 @@
-"""Worker-count determinism: parallel runs are byte-identical to serial.
+"""Backend/worker-count determinism: parallel runs are byte-identical.
 
-The pipelined executor promises that ``workers`` is an execution-only knob:
-partition files, sorted runs and the reduced graph must be byte-for-byte
-identical for any worker count. These tests run map → sort → reduce on
-three different simulated genomes under ``workers ∈ {1, 2, 4}`` (with
-cramped block budgets so the external sort really forms and merges multiple
-runs) and compare every artifact.
+The pipelined executor promises that ``workers`` and ``executor_backend``
+are execution-only knobs: partition files, sorted runs, the reduced graph,
+the contigs, the checkpoint ledger and the deterministic sim-clock trace
+must be byte-for-byte identical for any backend × worker-count
+combination. These tests run map → sort → reduce on three different
+simulated genomes under ``workers ∈ {1, 2, 4}`` (with cramped block
+budgets so the external sort really forms and merges multiple runs),
+sweep the full ``serial | threads | processes`` backend matrix on one of
+them, and compare every artifact.
 """
 
 import hashlib
@@ -13,23 +16,29 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.config import AssemblyConfig, MemoryConfig, default_workers
+from repro.config import (AssemblyConfig, MemoryConfig, default_backend,
+                          default_workers)
+from repro.core.checkpoint import STATE_FILE, config_fingerprint
 from repro.core.context import RunContext
 from repro.core.map_phase import run_map
+from repro.core.pipeline import Assembler
 from repro.core.reduce_phase import run_reduce
 from repro.core.sort_phase import run_sort
 from repro.errors import ConfigError
 from repro.seq.datasets import tiny_dataset
 from repro.seq.packing import PackedReadStore
+from repro.trace import PERFETTO_SIM_FILE
 
 WORKER_COUNTS = (1, 2, 4)
 GENOME_SEEDS = (3, 11, 29)
+BACKENDS = ("serial", "threads", "processes")
 
 
-def _config(workers: int) -> AssemblyConfig:
+def _config(workers: int, backend: str = "auto") -> AssemblyConfig:
     # Cramped blocks force multi-run sorts with real merge rounds, so the
     # read-ahead / write-behind paths are genuinely exercised.
     return AssemblyConfig(min_overlap=25, workers=workers,
+                          executor_backend=backend,
                           memory=MemoryConfig(64 << 20, 1 << 20),
                           host_block_pairs=500, device_block_pairs=128)
 
@@ -39,9 +48,9 @@ def _file_hashes(directory) -> dict[str, str]:
             for p in sorted(directory.iterdir()) if p.is_file()}
 
 
-def _run_pipeline(md, workdir, workers: int):
+def _run_pipeline(md, workdir, workers: int, backend: str = "auto"):
     """map → sort → reduce; returns (map hashes, sort hashes, graph arrays)."""
-    ctx = RunContext(_config(workers), workdir=workdir)
+    ctx = RunContext(_config(workers, backend), workdir=workdir)
     try:
         with PackedReadStore.open(md.store_path) as store:
             partitions, _ = run_map(ctx, store)
@@ -67,6 +76,60 @@ def test_worker_count_is_invisible_in_artifacts(tmp_path, seed):
         assert candidate[1] == baseline[1], "sorted runs differ"
         for ours, theirs in zip(candidate[2], baseline[2]):
             assert np.array_equal(ours, theirs), "graph arrays differ"
+
+
+def test_backend_matrix_is_invisible_in_artifacts(tmp_path):
+    """Every backend × worker-count cell reproduces the serial artifacts."""
+    md, _ = tiny_dataset(tmp_path / "data", genome_length=2000, read_length=50,
+                         coverage=20.0, min_overlap=25, seed=GENOME_SEEDS[0])
+    baseline = _run_pipeline(md, tmp_path / "base", workers=1,
+                             backend="serial")
+    for backend in BACKENDS:
+        for workers in WORKER_COUNTS:
+            if (backend, workers) == ("serial", 1):
+                continue
+            cell = f"{backend}-w{workers}"
+            candidate = _run_pipeline(md, tmp_path / cell, workers=workers,
+                                      backend=backend)
+            assert candidate[0] == baseline[0], f"partition files differ ({cell})"
+            assert candidate[1] == baseline[1], f"sorted runs differ ({cell})"
+            for ours, theirs in zip(candidate[2], baseline[2]):
+                assert np.array_equal(ours, theirs), f"graph arrays differ ({cell})"
+
+
+def test_backend_matrix_contigs_checkpoints_and_sim_trace(tmp_path):
+    """Contigs, checkpoint ledger and sim-clock trace are backend-invariant.
+
+    Mirrors test_trace.py's worker-invariance check, across backends: the
+    deterministic sim export's bytes (nanosecond-rounded simulated stamps)
+    must not reveal how the run was executed, and a checkpoint written
+    under one backend must be byte-identical to (hence resumable from)
+    any other.
+    """
+    md, _ = tiny_dataset(tmp_path / "data", genome_length=2000, read_length=50,
+                         coverage=20.0, min_overlap=25, seed=GENOME_SEEDS[1])
+    artifacts = {}
+    for backend, workers in (("serial", 1), ("threads", 4), ("processes", 4)):
+        trace_dir = tmp_path / f"trace-{backend}"
+        workdir = tmp_path / f"work-{backend}"
+        config = AssemblyConfig(min_overlap=25, workers=workers,
+                                executor_backend=backend,
+                                trace=str(trace_dir),
+                                memory=MemoryConfig(64 << 20, 1 << 20),
+                                host_block_pairs=500, device_block_pairs=128)
+        result = Assembler(config).assemble(md.store_path, workdir=workdir,
+                                            resume=True)
+        artifacts[backend] = (
+            result.contigs.flat_codes.tobytes()
+            + result.contigs.offsets.tobytes(),
+            (workdir / STATE_FILE).read_bytes(),
+            (trace_dir / PERFETTO_SIM_FILE).read_bytes(),
+        )
+    for backend in ("threads", "processes"):
+        for part, label in zip(range(3), ("contigs", "checkpoint ledger",
+                                          "sim trace")):
+            assert artifacts[backend][part] == artifacts["serial"][part], \
+                f"{label} differs under the {backend} backend"
 
 
 def test_multiple_sorted_runs_were_formed(tmp_path):
@@ -108,8 +171,51 @@ class TestWorkersConfig:
             AssemblyConfig(min_overlap=25, workers=-1)
 
     def test_workers_excluded_from_fingerprint(self):
-        from repro.core.checkpoint import config_fingerprint
-
         one = config_fingerprint(_config(1), "src")
         four = config_fingerprint(_config(4), "src")
         assert one == four
+
+    def test_resolved_workers_revalidates_injected_value(self):
+        # A worker count smuggled past the constructor (object.__setattr__
+        # on the frozen dataclass) must still hit the shared ConfigError
+        # path at resolve time, not silently reach the executor.
+        config = AssemblyConfig(min_overlap=25, workers=1)
+        object.__setattr__(config, "workers", -2)
+        with pytest.raises(ConfigError):
+            config.resolved_workers()
+
+    def test_resolved_workers_revalidates_type(self):
+        config = AssemblyConfig(min_overlap=25, workers=1)
+        object.__setattr__(config, "workers", "plenty")
+        with pytest.raises(ConfigError):
+            config.resolved_workers()
+
+
+class TestBackendConfig:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        assert default_backend() == "threads"
+        assert AssemblyConfig(min_overlap=25).executor_backend == "threads"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend() == "auto"
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        with pytest.raises(ConfigError):
+            default_backend()
+
+    def test_constructor_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            AssemblyConfig(min_overlap=25, executor_backend="quantum")
+
+    def test_auto_resolution(self):
+        assert _config(1).resolved_backend() == "serial"
+        assert _config(4).resolved_backend() == "processes"
+        assert _config(4, backend="threads").resolved_backend() == "threads"
+
+    def test_backend_excluded_from_fingerprint(self):
+        serial = config_fingerprint(_config(4, backend="serial"), "src")
+        procs = config_fingerprint(_config(4, backend="processes"), "src")
+        assert serial == procs

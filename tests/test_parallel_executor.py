@@ -200,3 +200,138 @@ class TestExecutorConfig:
         list(executor.map_ordered(lambda x: x, range(4)))
         executor.shutdown()
         executor.shutdown()
+
+
+PROBE = "repro.parallel.process_backend:_probe_task"
+
+
+class TestProcessBackend:
+    def test_map_tasks_runs_in_workers_in_order(self):
+        import os
+
+        ex = PipelineExecutor(2, backend="processes")
+        try:
+            assert ex.process_parallel
+            results = list(ex.map_tasks(PROBE, ({"i": i} for i in range(8))))
+        finally:
+            ex.shutdown()
+        assert [r["i"] for r in results] == list(range(8))
+        assert all(r["pid"] != os.getpid() for r in results)
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_map_tasks_inline_without_process_backend(self, backend):
+        import os
+
+        ex = PipelineExecutor(2, backend=backend)
+        try:
+            assert not ex.process_parallel
+            results = list(ex.map_tasks(PROBE, ({"i": i} for i in range(4))))
+        finally:
+            ex.shutdown()
+        assert [r["i"] for r in results] == list(range(4))
+        assert {r["pid"] for r in results} == {os.getpid()}
+
+    def test_worker_exception_relayed_and_pool_survives(self):
+        ex = PipelineExecutor(2, backend="processes")
+        try:
+            with pytest.raises(Exception, match="probe failure"):
+                list(ex.map_tasks(
+                    "repro.parallel.process_backend:_failing_probe_task",
+                    ({"i": i} for i in range(4))))
+            # The pool must stay usable after relaying a task failure.
+            again = list(ex.map_tasks(PROBE, ({"i": i} for i in range(3))))
+            assert [r["i"] for r in again] == [0, 1, 2]
+        finally:
+            ex.shutdown()
+
+    def test_invalid_window_rejected(self):
+        ex = PipelineExecutor(2, backend="processes")
+        try:
+            with pytest.raises(ConfigError):
+                list(ex.map_tasks(PROBE, iter([{}]), window=0))
+        finally:
+            ex.shutdown()
+
+    def test_armed_fault_plan_disables_process_dispatch(self):
+        import os
+
+        ex = PipelineExecutor(4, backend="processes")
+        try:
+            with inject(FaultPlan(seed=1)):
+                assert not ex.parallel
+                assert not ex.process_parallel
+                results = list(ex.map_tasks(PROBE, ({"i": i} for i in range(3))))
+                assert {r["pid"] for r in results} == {os.getpid()}
+        finally:
+            ex.shutdown()
+
+
+class TestCleanupOnMidMapFailure:
+    """A mid-map exception must leave no helper thread or scratch state.
+
+    Helper threads (prefetch/read-ahead/write-behind) are joined in
+    ``finally`` paths, every registered run file is closed, and every
+    shared-memory segment is unlinked — under both in-process and
+    process backends.
+    """
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_no_thread_file_or_shm_residue(self, tmp_path, backend,
+                                           monkeypatch):
+        import os
+
+        from repro.config import AssemblyConfig, MemoryConfig
+        from repro.core import map_phase
+        from repro.core.context import RunContext
+        from repro.extmem import streams
+        from repro.seq.datasets import tiny_dataset
+        from repro.seq.packing import PackedReadStore
+
+        calls = []
+        real = map_phase._fingerprint_batch
+
+        def flaky(*args, **kwargs):
+            calls.append(1)
+            if len(calls) > 1:
+                raise RuntimeError("mid-map failure")
+            return real(*args, **kwargs)
+
+        # Patch BEFORE the RunContext exists: the process backend forks
+        # its workers at executor construction and must inherit the patch.
+        monkeypatch.setattr(map_phase, "_fingerprint_batch", flaky)
+
+        # Residue is judged as a delta: other tests in the same process
+        # may hold open run files or threads of their own legitimately.
+        base_paths = set(streams._OPEN_PATHS)
+        base_threads = {t.name for t in threading.enumerate()}
+        base_shm = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") \
+            else set()
+
+        md, _ = tiny_dataset(tmp_path / "data", genome_length=2000,
+                             read_length=50, coverage=20.0, min_overlap=25,
+                             seed=5)
+        config = AssemblyConfig(min_overlap=25, workers=2,
+                                executor_backend=backend,
+                                memory=MemoryConfig(64 << 20, 1 << 20),
+                                map_batch_reads=16,
+                                host_block_pairs=500, device_block_pairs=128)
+        ctx = RunContext(config, workdir=tmp_path / "work")
+        try:
+            with pytest.raises(Exception, match="mid-map failure"):
+                with PackedReadStore.open(md.store_path) as store:
+                    from repro.core.map_phase import run_map
+
+                    run_map(ctx, store)
+        finally:
+            ctx.cleanup()
+
+        left_open = set(streams._OPEN_PATHS) - base_paths
+        assert left_open == set(), f"scratch run files left open: {left_open}"
+        stragglers = [t.name for t in threading.enumerate()
+                      if t.name.startswith("repro-") and t.is_alive()
+                      and t.name not in base_threads]
+        assert stragglers == [], f"helper threads still alive: {stragglers}"
+        if os.path.isdir("/dev/shm"):
+            leaked = [n for n in os.listdir("/dev/shm")
+                      if n.startswith("psm_") and n not in base_shm]
+            assert leaked == [], f"shared memory segments leaked: {leaked}"
