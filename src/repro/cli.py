@@ -168,6 +168,47 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .config import ServiceConfig
+    from .service import AssemblyService, JobSpec
+
+    weights = {}
+    for item in args.weight or ():
+        tenant, _, value = item.partition("=")
+        try:
+            weights[tenant] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --weight {item!r}; expected TENANT=FLOAT")
+    memory = MemoryConfig(parse_size(args.host_mem), parse_size(args.device_mem))
+    job_config = AssemblyConfig(min_overlap=args.min_overlap, memory=memory)
+    specs = []
+    for round_index in range(args.rounds):
+        for index, item in enumerate(args.jobs):
+            tenant, sep, path = item.partition(":")
+            if not sep:
+                tenant, path = "default", item
+            specs.append(JobSpec(f"job{len(specs):03d}", tenant, path,
+                                 job_config))
+    service = AssemblyService(ServiceConfig(
+        max_parallel=args.max_parallel,
+        host_budget_bytes=parse_size(args.host_budget),
+        device_budget_bytes=parse_size(args.device_budget),
+        cache_dir=args.cache_dir,
+        cache_bytes=parse_size(args.cache_bytes),
+        batch_max_bytes=parse_size(args.batch_max_bytes),
+        batch_max_jobs=args.batch_max_jobs,
+        tenant_weights=weights,
+        workdir=args.workdir or "",
+    ))
+    report = service.run_jobs(specs)
+    print(report.summary())
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(f"  {outcome.spec.job_id} ({outcome.spec.tenant}) FAILED: "
+                  f"{outcome.error}")
+    return 0 if report.n_failed == 0 else 1
+
+
 def _cmd_model(args: argparse.Namespace) -> int:
     from .model import model_phase_seconds
     from .model.workload import Workload
@@ -305,6 +346,42 @@ def build_parser() -> argparse.ArgumentParser:
                              help="dump a cluster-wide span trace (one track "
                                   "per node) into this directory")
     distributed.set_defaults(func=_cmd_distributed)
+
+    serve = sub.add_parser(
+        "serve", help="run a multi-tenant batch of assembly jobs")
+    serve.add_argument("jobs", nargs="+", metavar="[TENANT:]READS",
+                       help="one job per operand; optional tenant prefix "
+                            "(default tenant: 'default')")
+    serve.add_argument("--min-overlap", type=int, required=True)
+    serve.add_argument("--rounds", type=int, default=1,
+                       help="submit the whole job list this many times "
+                            "(repeats exercise the cache)")
+    serve.add_argument("--max-parallel", type=int, default=1,
+                       help="batches executing concurrently (1 = "
+                            "deterministic fair order)")
+    serve.add_argument("--host-mem", default="1 GB",
+                       help="per-job host budget (= admission demand)")
+    serve.add_argument("--device-mem", default="96 MB",
+                       help="per-job device budget (= admission demand)")
+    serve.add_argument("--host-budget", default="4 GB",
+                       help="shared host budget admission control enforces")
+    serve.add_argument("--device-budget", default="512 MB",
+                       help="shared device budget admission control enforces")
+    serve.add_argument("--cache-dir", default="",
+                       help="content-addressed artifact cache directory "
+                            "(empty = caching off)")
+    serve.add_argument("--cache-bytes", default="256 MB",
+                       help="cache capacity (LRU eviction past it)")
+    serve.add_argument("--batch-max-bytes", default="1 MB",
+                       help="inputs at most this large coalesce into "
+                            "batches (0 = batching off)")
+    serve.add_argument("--batch-max-jobs", type=int, default=4)
+    serve.add_argument("--weight", action="append", metavar="TENANT=W",
+                       help="fair-share weight for a tenant (repeatable; "
+                            "default 1.0)")
+    serve.add_argument("--workdir",
+                       help="root for per-job workdirs (default: temp)")
+    serve.set_defaults(func=_cmd_serve)
 
     model = sub.add_parser("model", help="analytic paper-scale phase times")
     model.add_argument("--dataset", default="hgenome_sim")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 from .errors import ConfigError
 from .units import parse_size
@@ -305,3 +306,72 @@ class AssemblyConfig:
 
         m_h, m_d = self.resolved_blocks(record_nbytes)
         return derive_fanout(m_h, m_d)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the multi-tenant assembly service (``lasagna serve``).
+
+    Parameters
+    ----------
+    max_parallel:
+        Batches executing concurrently. ``1`` (the default) runs jobs on
+        the scheduler thread in strict weighted-fair order — fully
+        deterministic, which is what the traffic harness asserts against;
+        higher values ship batches to worker threads.
+    host_budget_bytes / device_budget_bytes:
+        The shared memory budgets admission control arbitrates. A job's
+        demand is its config's ``memory.host_bytes``/``device_bytes``;
+        jobs wait at admission until both fit, so the sum of admitted
+        demands can never exceed the budget (enforced by the service
+        :class:`~repro.device.memory.MemoryPool` pair, whose peaks are the
+        oversubscription audit trail).
+    cache_dir:
+        Directory of the content-addressed artifact cache shared across
+        jobs and tenants ("" = caching off).
+    cache_bytes:
+        Cache capacity; least-recently-used entries are evicted past it.
+    batch_max_bytes:
+        Jobs whose input file is at most this large count as *small* and
+        may be coalesced with other small jobs of the same tenant into one
+        batch sharing a single admission grant (0 = batching off).
+    batch_max_jobs:
+        Most jobs coalesced into one batch.
+    tenant_weights:
+        Fair-share weight per tenant name (unlisted tenants get 1.0). A
+        tenant with weight 2 receives twice the service of a weight-1
+        tenant under contention.
+    workdir:
+        Root directory for per-job workdirs and reports ("" = a temp dir
+        owned, and removed, by the service).
+    """
+
+    max_parallel: int = 1
+    host_budget_bytes: int = 4 << 30
+    device_budget_bytes: int = 512 << 20
+    cache_dir: str = ""
+    cache_bytes: int = 256 << 20
+    batch_max_bytes: int = 1 << 20
+    batch_max_jobs: int = 4
+    tenant_weights: Mapping[str, float] = field(default_factory=dict)
+    workdir: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_parallel < 1:
+            raise ConfigError("max_parallel must be >= 1")
+        if self.host_budget_bytes <= 0 or self.device_budget_bytes <= 0:
+            raise ConfigError("service memory budgets must be positive")
+        if self.cache_bytes <= 0:
+            raise ConfigError("cache_bytes must be positive")
+        if self.batch_max_bytes < 0:
+            raise ConfigError("batch_max_bytes must be >= 0 (0 = no batching)")
+        if self.batch_max_jobs < 1:
+            raise ConfigError("batch_max_jobs must be >= 1")
+        for tenant, weight in self.tenant_weights.items():
+            if weight <= 0:
+                raise ConfigError(
+                    f"tenant weight must be positive ({tenant!r}: {weight})")
+
+    def weight(self, tenant: str) -> float:
+        """Fair-share weight of ``tenant`` (1.0 unless configured)."""
+        return float(self.tenant_weights.get(tenant, 1.0))

@@ -64,31 +64,46 @@ def file_digest(path: Path) -> str | None:
         return None
 
 
-def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
-    """Stable hash of everything that invalidates intermediate state."""
+#: Config knobs that never change artifact bytes. Everything here is
+#: excluded from both the checkpoint fingerprint and the content-addressed
+#: phase cache key, so a run may be resumed (or served from cache) under a
+#: different setting of any of them:
+#:
+#: * ``workers`` / ``executor_backend`` — execution-only: any worker count
+#:   or backend produces byte-identical artifacts (asserted by
+#:   tests/test_parallel_determinism.py),
+#: * ``trace`` — observation-only: tracing never changes artifacts,
+#: * ``keep_workdir`` — housekeeping,
+#: * the resilience-policy knobs — they change how failures are survived,
+#:   never what a surviving run produces (recovered runs are byte-identical).
+NON_SEMANTIC_KNOBS = ("workers", "executor_backend", "trace", "keep_workdir",
+                      "heartbeat_interval", "node_timeout",
+                      "reduce_max_attempts", "retry_backoff_s",
+                      "node_restarts", "allow_degraded")
+
+
+def semantic_payload(config: AssemblyConfig) -> dict:
+    """The JSON-able subset of ``config`` that determines artifact bytes.
+
+    One definition shared by :func:`config_fingerprint` (the resume ledger)
+    and :func:`repro.service.content_store.phase_key` (the cross-job cache),
+    so the two notions of "same configuration" can never drift apart.
+    """
     payload = asdict(config)
     payload["memory"] = {
         "host_bytes": config.memory.host_bytes,
         "device_bytes": config.memory.device_bytes,
         "buffer_fraction": config.memory.buffer_fraction,
     }
-    payload["source"] = source_id
-    del payload["keep_workdir"]
-    # Execution-only knobs: any worker count or executor backend produces
-    # byte-identical artifacts (asserted by tests/test_parallel_determinism.py),
-    # so a run may be resumed under a different REPRO_WORKERS / REPRO_BACKEND
-    # setting.
-    payload.pop("workers", None)
-    payload.pop("executor_backend", None)
-    # Observation-only knob: tracing never changes artifacts, so a traced
-    # run may resume an untraced one and vice versa.
-    payload.pop("trace", None)
-    # Resilience-policy knobs: retry/heartbeat settings change how failures
-    # are survived, never what a surviving run produces (recovered runs are
-    # byte-identical), so a run may resume under a different policy.
-    for knob in ("heartbeat_interval", "node_timeout", "reduce_max_attempts",
-                 "retry_backoff_s", "node_restarts", "allow_degraded"):
+    for knob in NON_SEMANTIC_KNOBS:
         payload.pop(knob, None)
+    return payload
+
+
+def config_fingerprint(config: AssemblyConfig, source_id: str) -> str:
+    """Stable hash of everything that invalidates intermediate state."""
+    payload = semantic_payload(config)
+    payload["source"] = source_id
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest()[:16]
 
@@ -175,35 +190,50 @@ class CheckpointManager:
 
     def save_graph(self, graph: GreedyStringGraph) -> None:
         """Archive the reduce phase's graph arrays."""
-        np.savez(self.workdir / GRAPH_FILE,
-                 target=graph.target,
-                 overlap=graph.overlap,
-                 in_degree=graph.in_degree,
-                 out_bits=np.frombuffer(graph.out_bits.to_bytes(), dtype=np.uint64),
-                 meta=np.array([graph.n_reads, graph.read_length,
-                                graph._n_edges, graph._candidates_seen],
-                               dtype=np.int64))
+        save_graph_file(self.workdir / GRAPH_FILE, graph)
 
     def load_graph(self, host_pool=None) -> GreedyStringGraph | None:
         """Restore the archived graph, or ``None`` if absent/corrupt."""
-        path = self.workdir / GRAPH_FILE
-        if not path.exists():
-            return None
-        try:
-            archive = np.load(path)
-            n_reads, read_length, n_edges, candidates = archive["meta"].tolist()
-        except (OSError, ValueError, KeyError):
-            return None
-        graph = GreedyStringGraph(int(n_reads), int(read_length), host_pool)
-        graph.target = archive["target"]
-        graph.overlap = archive["overlap"]
-        graph.in_degree = archive["in_degree"]
-        graph.out_bits = PackedBitVector(graph.n_vertices,
-                                         archive["out_bits"].copy())
-        graph._n_edges = int(n_edges)
-        graph._candidates_seen = int(candidates)
-        try:
-            graph.check_invariants()
-        except Exception:
-            return None
-        return graph
+        return load_graph_file(self.workdir / GRAPH_FILE, host_pool)
+
+
+def save_graph_file(path: Path, graph: GreedyStringGraph) -> None:
+    """Archive a reduce-phase graph's arrays to ``path`` (an ``.npz``)."""
+    np.savez(path,
+             target=graph.target,
+             overlap=graph.overlap,
+             in_degree=graph.in_degree,
+             out_bits=np.frombuffer(graph.out_bits.to_bytes(), dtype=np.uint64),
+             meta=np.array([graph.n_reads, graph.read_length,
+                            graph._n_edges, graph._candidates_seen],
+                           dtype=np.int64))
+
+
+def load_graph_file(path: Path, host_pool=None) -> GreedyStringGraph | None:
+    """Restore a graph archived by :func:`save_graph_file`.
+
+    Returns ``None`` if the archive is absent or corrupt. Shared by the
+    checkpoint manager (same-workdir resume) and the content-addressed
+    phase cache (cross-job reuse of a fetched ``graph.npz``).
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        archive = np.load(path)
+        n_reads, read_length, n_edges, candidates = archive["meta"].tolist()
+    except (OSError, ValueError, KeyError):
+        return None
+    graph = GreedyStringGraph(int(n_reads), int(read_length), host_pool)
+    graph.target = archive["target"]
+    graph.overlap = archive["overlap"]
+    graph.in_degree = archive["in_degree"]
+    graph.out_bits = PackedBitVector(graph.n_vertices,
+                                     archive["out_bits"].copy())
+    graph._n_edges = int(n_edges)
+    graph._candidates_seen = int(candidates)
+    try:
+        graph.check_invariants()
+    except Exception:
+        return None
+    return graph

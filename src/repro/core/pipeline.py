@@ -24,7 +24,7 @@ from ..faults import plan as faults
 from ..graph import GreedyStringGraph
 from ..seq.packing import PackedReadStore
 from .checkpoint import (GRAPH_FILE, CheckpointManager, config_fingerprint,
-                         file_digest)
+                         file_digest, load_graph_file)
 from .compress_phase import run_compress
 from .context import RunContext
 from .load_phase import run_load
@@ -54,10 +54,16 @@ class Assembler:
     """
 
     def __init__(self, config: AssemblyConfig | None = None, *,
-                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+                 disk: DiskSpec | None = None, host: HostSpec | None = None,
+                 content_store=None):
         self.config = config if config is not None else AssemblyConfig()
         self.disk = disk
         self.host = host
+        #: Optional :class:`repro.service.content_store.ContentStore`. When
+        #: set, every phase boundary first looks its output up by content
+        #: key — identical phase inputs across jobs, tenants and
+        #: re-submissions are served from cache instead of recomputed.
+        self.content_store = content_store
 
     def assemble(self, source: str | Path | PackedReadStore, *,
                  workdir: str | Path | None = None,
@@ -197,6 +203,35 @@ class Assembler:
             (ctx.workdir / GRAPH_FILE).unlink(missing_ok=True)
             manager.invalidate_from("reduce")
 
+    # -- content-addressed phase cache ---------------------------------------
+
+    def _cache_key(self, phase: str, inputs: list[str]) -> str:
+        from ..service.content_store import phase_key
+
+        return phase_key(phase, inputs, self.config)
+
+    @staticmethod
+    def _source_content_digest(source) -> str | None:
+        """Content digest of the input reads (``None`` = uncacheable)."""
+        path = Path(source.path) if isinstance(source, PackedReadStore) \
+            else Path(source)
+        return file_digest(path)
+
+    @staticmethod
+    def _open_cached_store(ctx: RunContext) -> PackedReadStore | None:
+        """Open a fetched ``reads.lsgr``, rejecting empty/corrupt stores."""
+        try:
+            store = PackedReadStore.open(ctx.workdir / "reads.lsgr",
+                                         ctx.accountant)
+        except DatasetError:
+            return None
+        if store.n_reads > 0:
+            return store
+        store.close()
+        return None
+
+    # -- phase drivers (with ledger resume and cache lookup) ------------------
+
     def _load(self, ctx: RunContext, source, manager) -> PackedReadStore:
         store_path = ctx.workdir / "reads.lsgr"
         if manager is not None and manager.completed("load") and store_path.exists():
@@ -213,9 +248,26 @@ class Assembler:
             if store is not None:
                 store.close()
             manager.invalidate_from("load")
+        key = None
+        if self.content_store is not None:
+            source_digest = self._source_content_digest(source)
+            if source_digest is not None:
+                key = self._cache_key("load", [f"reads:{source_digest}"])
+                fetched = self.content_store.fetch(key, ctx.workdir,
+                                                   phase="load",
+                                                   tracer=ctx.tracer)
+                if fetched is not None:
+                    store = self._open_cached_store(ctx)
+                    if store is not None:
+                        if manager is not None:
+                            manager.mark("load", [store_path])
+                        return store
         store = run_load(ctx, source)
         if manager is not None:
             manager.mark("load", [store_path])
+        if key is not None:
+            self.content_store.put(key, "load", ctx.workdir, [store_path],
+                                   tracer=ctx.tracer)
         return store
 
     def _map(self, ctx: RunContext, store: PackedReadStore, manager,
@@ -229,6 +281,30 @@ class Assembler:
                 return partitions, MapReport(saved["n_reads"], saved["n_batches"],
                                              saved["tuples_written"],
                                              tuple(saved["lengths"]))
+        key = None
+        if self.content_store is not None:
+            reads_digest = file_digest(ctx.workdir / "reads.lsgr")
+            if reads_digest is not None:
+                key = self._cache_key("map", [f"reads:{reads_digest}"])
+                meta = self.content_store.fetch(key, ctx.workdir, phase="map",
+                                                tracer=ctx.tracer)
+                if meta is not None:
+                    partitions = PartitionStore(ctx.workdir / "partitions",
+                                                dtype, ctx.accountant)
+                    report = MapReport(meta["n_reads"], meta["n_batches"],
+                                       meta["tuples_written"],
+                                       tuple(meta["lengths"]))
+                    if manager is not None:
+                        manager._state["map_report"] = {
+                            "n_reads": report.n_reads,
+                            "n_batches": report.n_batches,
+                            "tuples_written": report.tuples_written,
+                            "lengths": list(report.lengths),
+                        }
+                        manager.mark("map", [partitions.path(side, length)
+                                             for length in report.lengths
+                                             for side in ("S", "P")])
+                    return partitions, report
         partitions, report = run_map(ctx, store)
         if manager is not None:
             manager._state["map_report"] = {
@@ -239,6 +315,15 @@ class Assembler:
             manager.mark("map", [partitions.path(side, length)
                                  for length in report.lengths
                                  for side in ("S", "P")])
+        if key is not None:
+            self.content_store.put(
+                key, "map", ctx.workdir,
+                [partitions.path(side, length) for length in report.lengths
+                 for side in ("S", "P")],
+                meta={"n_reads": report.n_reads, "n_batches": report.n_batches,
+                      "tuples_written": report.tuples_written,
+                      "lengths": list(report.lengths)},
+                tracer=ctx.tracer)
         return partitions, report
 
     def _sort(self, ctx: RunContext, partitions: PartitionStore, manager,
@@ -256,6 +341,32 @@ class Assembler:
             if complete and reports:
                 return SortPhaseReport(reports)
             manager.invalidate_from("sort")
+        key = None
+        if self.content_store is not None:
+            inputs = self._partition_inputs(partitions, sorted_run=False)
+            if inputs is not None:
+                key = self._cache_key("sort", inputs)
+                meta = self.content_store.fetch(key, ctx.workdir, phase="sort",
+                                                tracer=ctx.tracer)
+                if meta is not None:
+                    reports = {}
+                    for saved_key, values in meta.items():
+                        side, length = saved_key.split(":")
+                        reports[(side, int(length))] = SortReport(*values)
+                    # Mirror the sort phase's file discipline: the unsorted
+                    # partitions are consumed once their sorted runs exist.
+                    for (side, length) in reports:
+                        partitions.delete(side, length)
+                    if manager is not None:
+                        manager._state["sort_report"] = {
+                            f"{side}:{length}": [r.n_records, r.initial_runs,
+                                                 r.merge_rounds, r.fanout]
+                            for (side, length), r in reports.items()}
+                        manager.mark("sort",
+                                     [partitions.path(side, length,
+                                                      sorted_run=True)
+                                      for (side, length) in reports])
+                    return SortPhaseReport(reports)
         report = run_sort(ctx, partitions)
         if manager is not None:
             # All four SortReport fields must round-trip: dropping fanout
@@ -268,6 +379,15 @@ class Assembler:
             }
             manager.mark("sort", [partitions.path(side, length, sorted_run=True)
                                   for (side, length) in report.reports])
+        if key is not None:
+            self.content_store.put(
+                key, "sort", ctx.workdir,
+                [partitions.path(side, length, sorted_run=True)
+                 for (side, length) in report.reports],
+                meta={f"{side}:{length}": [r.n_records, r.initial_runs,
+                                           r.merge_rounds, r.fanout]
+                      for (side, length), r in report.reports.items()},
+                tracer=ctx.tracer)
         return report
 
     def _reduce(self, ctx: RunContext, partitions: PartitionStore,
@@ -284,9 +404,62 @@ class Assembler:
                 })
                 return graph, report
             manager.invalidate_from("reduce")
+        key = None
+        if self.content_store is not None:
+            inputs = self._partition_inputs(partitions, sorted_run=True)
+            reads_digest = file_digest(ctx.workdir / "reads.lsgr")
+            if inputs is not None and reads_digest is not None:
+                key = self._cache_key("reduce",
+                                      [f"reads:{reads_digest}"] + inputs)
+                meta = self.content_store.fetch(key, ctx.workdir,
+                                                phase="reduce",
+                                                tracer=ctx.tracer)
+                if meta is not None:
+                    graph = load_graph_file(ctx.workdir / GRAPH_FILE,
+                                            ctx.host_pool)
+                    if graph is not None:
+                        report = ReduceReport(**{
+                            **meta,
+                            "per_length_edges": {
+                                int(k): v for k, v
+                                in meta["per_length_edges"].items()},
+                        })
+                        if manager is not None:
+                            manager._state["reduce_report"] = asdict(report)
+                            manager.mark("reduce", [ctx.workdir / GRAPH_FILE])
+                        return graph, report
         graph, report = run_reduce(ctx, partitions, store)
         if manager is not None:
             manager.save_graph(graph)
             manager._state["reduce_report"] = asdict(report)
             manager.mark("reduce", [ctx.workdir / GRAPH_FILE])
+        if key is not None:
+            if manager is None:
+                # No ledger writing the archive for us: materialize it so
+                # the cache entry has bytes to hold.
+                from .checkpoint import save_graph_file
+
+                save_graph_file(ctx.workdir / GRAPH_FILE, graph)
+            self.content_store.put(key, "reduce", ctx.workdir,
+                                   [ctx.workdir / GRAPH_FILE],
+                                   meta=asdict(report), tracer=ctx.tracer)
         return graph, report
+
+    @staticmethod
+    def _partition_inputs(partitions: PartitionStore, *,
+                          sorted_run: bool) -> list[str] | None:
+        """Labeled content digests of every partition file, or ``None``.
+
+        ``None`` (some expected file missing — e.g. a partially consumed
+        resume state) makes the caller skip the cache for this phase; the
+        ledger machinery handles mixed on-disk state instead.
+        """
+        inputs = []
+        for length in partitions.lengths():
+            for side in ("S", "P"):
+                path = partitions.path(side, length, sorted_run=sorted_run)
+                digest = file_digest(path)
+                if digest is None:
+                    return None
+                inputs.append(f"{side}:{length}:{digest}")
+        return inputs if inputs else None

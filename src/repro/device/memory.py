@@ -72,16 +72,29 @@ class MemoryPool:
 
     def alloc(self, nbytes: int, *, label: str = "") -> Allocation:
         """Reserve ``nbytes``; raises the pool's error type if over capacity."""
+        allocation = self.try_alloc(nbytes)
+        if allocation is None:
+            raise self._exhausted_error(
+                f"{self.name} pool exhausted: requested {nbytes} "
+                f"({label or 'unlabelled'}), in use {self._used}, "
+                f"capacity {self.capacity_bytes}"
+            )
+        return allocation
+
+    def try_alloc(self, nbytes: int, *, label: str = "") -> Allocation | None:
+        """Reserve ``nbytes`` if capacity allows; ``None`` instead of raising.
+
+        The admission-control entry point: the assembly service probes a
+        job's memory demand against the shared budget and, on ``None``,
+        parks the job until a running one releases its grant — so the pool
+        itself is what makes oversubscription impossible.
+        """
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ConfigError("cannot allocate negative bytes")
         with self._lock:
             if self._used + nbytes > self.capacity_bytes:
-                raise self._exhausted_error(
-                    f"{self.name} pool exhausted: requested {nbytes} "
-                    f"({label or 'unlabelled'}), in use {self._used}, "
-                    f"capacity {self.capacity_bytes}"
-                )
+                return None
             self._used += nbytes
             self._alloc_count += 1
             if self._used > self._peak:

@@ -1,0 +1,147 @@
+"""Job and report value types for the multi-tenant assembly service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..config import AssemblyConfig
+from ..core.results import AssemblyResult
+from ..units import format_duration, format_size
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One assembly request submitted to the service.
+
+    ``size_bytes`` (the input file's size) is the admission and batching
+    proxy for job weight; ``config.memory`` is the job's host/device
+    demand against the service budget.
+    """
+
+    job_id: str
+    tenant: str
+    source: str | Path
+    config: AssemblyConfig
+
+    @property
+    def size_bytes(self) -> int:
+        """Input size in bytes (0 when the file is missing)."""
+        try:
+            return Path(self.source).stat().st_size
+        except OSError:
+            return 0
+
+
+@dataclass
+class JobOutcome:
+    """What one job produced (or why it did not)."""
+
+    spec: JobSpec
+    status: str  #: ``"done"`` | ``"failed"``
+    result: AssemblyResult | None = None
+    error: str | None = None
+    #: Wall seconds from execution start to finish (0 for joined jobs).
+    wall_seconds: float = 0.0
+    #: Modeled hardware seconds accrued by the job's pipeline.
+    sim_seconds: float = 0.0
+    #: Whether this job ran its own pipeline (False = joined an identical
+    #: in-flight job's result via single-flight dedup).
+    executed: bool = True
+    #: Job id of the single-flight leader this job joined, if any.
+    joined: str | None = None
+    #: The job's private working directory (holds the checkpoint ledger).
+    workdir: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job completed with a result."""
+        return self.status == "done" and self.result is not None
+
+    def contig_bytes(self) -> bytes:
+        """Canonical byte string of the job's contigs (for identity checks)."""
+        if self.result is None:
+            return b""
+        return (self.result.contigs.flat_codes.tobytes()
+                + self.result.contigs.offsets.tobytes())
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant service accounting."""
+
+    tenant: str
+    weight: float
+    jobs: int = 0
+    failed: int = 0
+    served_units: float = 0.0
+
+
+@dataclass
+class ServiceReport:
+    """Everything one service run produced, for benchmarks and audits."""
+
+    outcomes: list[JobOutcome]
+    wall_seconds: float
+    #: Job ids in the order their execution *started* (the fairness audit
+    #: trail: weighted-fair scheduling bounds every prefix of this list).
+    execution_order: list[str]
+    tenants: dict[str, TenantReport]
+    #: Service meter counters (admissions, batches, single-flight joins…).
+    counters: Mapping[str, float]
+    #: Content-store counters (hits/misses/evictions/bytes), {} if disabled.
+    cache: Mapping[str, float] = field(default_factory=dict)
+    #: Peak admitted bytes against each service budget.
+    peak_host_bytes: int = 0
+    peak_device_bytes: int = 0
+
+    @property
+    def n_done(self) -> int:
+        """Jobs that completed with a result."""
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def n_failed(self) -> int:
+        """Jobs that failed."""
+        return len(self.outcomes) - self.n_done
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Completed jobs per wall second of service time."""
+        return self.n_done / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over this run (0.0 with caching off)."""
+        hits = self.cache.get("cache_hits", 0.0)
+        misses = self.cache.get("cache_misses", 0.0)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable service report."""
+        lines = [
+            f"jobs: {self.n_done} done, {self.n_failed} failed "
+            f"in {format_duration(self.wall_seconds)} "
+            f"({self.jobs_per_second:.2f} jobs/s)",
+        ]
+        if self.cache:
+            lines.append(
+                f"cache: {self.cache.get('cache_hits', 0):.0f} hits / "
+                f"{self.cache.get('cache_misses', 0):.0f} misses "
+                f"(rate {self.hit_rate:.0%}), "
+                f"{self.cache.get('cache_evictions', 0):.0f} evictions, "
+                f"{format_size(self.cache.get('bytes', 0))} held")
+        joins = self.counters.get("singleflight_joined", 0)
+        batches = self.counters.get("batches_coalesced", 0)
+        if joins or batches:
+            lines.append(f"dedup: {joins:.0f} jobs joined in flight; "
+                         f"{batches:.0f} coalesced batches")
+        lines.append(f"admitted peaks: host {format_size(self.peak_host_bytes)}"
+                     f", device {format_size(self.peak_device_bytes)}")
+        for report in self.tenants.values():
+            lines.append(
+                f"tenant {report.tenant} (w={report.weight:g}): "
+                f"{report.jobs} jobs, {report.failed} failed, "
+                f"served {report.served_units:g} units")
+        return "\n".join(lines)

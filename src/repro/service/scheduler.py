@@ -1,0 +1,359 @@
+"""Multi-tenant assembly service: async scheduler over the pipeline.
+
+One :class:`AssemblyService` admits many concurrent assembly jobs and
+arbitrates the shared (virtual) GPU and host-memory budget between tenants:
+
+* **Weighted fair queuing** — jobs queue per tenant; the scheduler always
+  serves the tenant with the smallest ``served_units / weight`` ratio, so
+  over any execution prefix a tenant's share of service tracks its
+  configured weight (ties break on tenant name: fully deterministic).
+* **Admission control** — a job's demand is its config's host/device
+  budget; it is admitted only when a :class:`~repro.device.memory.MemoryPool`
+  grant for *both* succeeds, so the sum of admitted demands can never
+  exceed the service budget. Blocked admissions park the scheduler until a
+  running batch releases its grant (strict fair order, no bypass — a large
+  job cannot be starved by small ones slipping past it).
+* **Batch coalescing** — consecutive small jobs of one tenant share a
+  single admission grant and run as one batch, so a burst of tiny
+  assemblies does not pay per-job admission latency.
+* **Single-flight dedup** — jobs submitted together whose input content
+  *and* semantic configuration are identical execute once; the followers
+  join the leader's result (and the content cache serves later
+  re-submissions across service runs).
+
+``max_parallel=1`` (the default) executes batches inline on the scheduler
+thread — fully deterministic, the mode the traffic harness asserts
+against. Higher values ship batches to worker threads; admission and fair
+ordering still hold (the pools and meters are lock-protected), but
+completion interleaving is OS-scheduled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import time
+from collections import deque
+from pathlib import Path
+
+from ..config import ServiceConfig
+from ..core.checkpoint import file_digest
+from ..core.pipeline import Assembler
+from ..device.memory import MemoryPool
+from ..errors import FaultInjected, ReproError
+from ..faults import plan as faults
+from ..telemetry import EventMeter, Telemetry
+from .content_store import ContentStore, phase_key
+from .jobs import JobOutcome, JobSpec, ServiceReport, TenantReport
+
+
+class JobQueue:
+    """Per-tenant FIFO queues with weighted-fair tenant selection.
+
+    ``pick()`` returns the tenant minimizing ``served_units / weight``
+    among tenants with pending work (name-ordered tie-break); the caller
+    reports what it served via ``charge()``. Weights come from
+    :meth:`~repro.config.ServiceConfig.weight`.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self._config = config
+        self._queues: dict[str, deque[JobSpec]] = {}
+        self.served: dict[str, float] = {}
+
+    def push(self, spec: JobSpec) -> None:
+        """Append a job to its tenant's queue."""
+        self._queues.setdefault(spec.tenant, deque()).append(spec)
+        self.served.setdefault(spec.tenant, 0.0)
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pick(self) -> str | None:
+        """The tenant to serve next, or ``None`` when all queues are empty."""
+        candidates = [t for t, queue in self._queues.items() if queue]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda t: (
+            self.served[t] / self._config.weight(t), t))
+
+    def take_batch(self, tenant: str) -> list[JobSpec]:
+        """Pop the tenant's next batch: one job, or several coalesced.
+
+        Consecutive *small* jobs (input no larger than ``batch_max_bytes``)
+        at the head of the queue coalesce up to ``batch_max_jobs``; a large
+        job always forms a batch of one.
+        """
+        queue = self._queues[tenant]
+        batch = [queue.popleft()]
+        limit = self._config.batch_max_bytes
+        if limit and batch[0].size_bytes <= limit:
+            while (queue and len(batch) < self._config.batch_max_jobs
+                   and queue[0].size_bytes <= limit):
+                batch.append(queue.popleft())
+        return batch
+
+    def charge(self, tenant: str, units: float) -> None:
+        """Account ``units`` of service against ``tenant``'s fair share."""
+        self.served[tenant] = self.served.get(tenant, 0.0) + units
+
+
+class AssemblyService:
+    """The multi-tenant assembly service (see the module docstring).
+
+    Construct once, then :meth:`run_jobs` a list of :class:`JobSpec`s.
+    The content cache (when configured) persists across runs of the same
+    service instance — a warm second run serves phase artifacts from it.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *, tracer=None):
+        self.config = config if config is not None else ServiceConfig()
+        if tracer is None:
+            from ..trace.tracer import NULL_TRACER as tracer
+        self.tracer = tracer
+        #: The shared budgets admission control allocates jobs' demands
+        #: from; their lifetime peaks are the oversubscription audit trail.
+        self.host_pool = MemoryPool("service_host",
+                                    self.config.host_budget_bytes)
+        self.device_pool = MemoryPool("service_device",
+                                      self.config.device_budget_bytes)
+        self.meter = EventMeter()
+        self.store: ContentStore | None = None
+        if self.config.cache_dir:
+            self.store = ContentStore(self.config.cache_dir,
+                                      self.config.cache_bytes, tracer=tracer)
+        #: Aggregate telemetry over all jobs, phase rows namespaced by job
+        #: id (see :meth:`repro.telemetry.Telemetry.absorb`).
+        self.telemetry = Telemetry(tracer=tracer)
+        for meter in (self.host_pool, self.device_pool, self.meter):
+            self.telemetry.register(meter)
+        if self.store is not None:
+            self.telemetry.register(self.store.meter)
+
+    # -- public entry points ---------------------------------------------------
+
+    def run_jobs(self, specs: list[JobSpec]) -> ServiceReport:
+        """Schedule and run ``specs`` to completion; blocking wrapper."""
+        return asyncio.run(self.run(specs))
+
+    async def run(self, specs: list[JobSpec]) -> ServiceReport:
+        """Schedule and run ``specs`` to completion on the current loop."""
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.job_id in seen:
+                raise ReproError(f"duplicate job id {spec.job_id!r}")
+            seen.add(spec.job_id)
+        root = Path(self.config.workdir) if self.config.workdir \
+            else Path(tempfile.mkdtemp(prefix="lasagna-service-"))
+        root.mkdir(parents=True, exist_ok=True)
+        start = time.perf_counter()
+        try:
+            outcomes = await self._run_async(specs, root)
+        finally:
+            if not self.config.workdir:
+                shutil.rmtree(root, ignore_errors=True)
+        wall = time.perf_counter() - start
+        tenants: dict[str, TenantReport] = {}
+        for outcome in outcomes.values():
+            spec = outcome.spec
+            report = tenants.setdefault(spec.tenant, TenantReport(
+                spec.tenant, self.config.weight(spec.tenant)))
+            report.jobs += 1
+            if not outcome.ok:
+                report.failed += 1
+        for tenant, units in self._queue.served.items():
+            if tenant in tenants:
+                tenants[tenant].served_units = units
+        return ServiceReport(
+            outcomes=[outcomes[spec.job_id] for spec in specs],
+            wall_seconds=wall,
+            execution_order=list(self._execution_order),
+            tenants=tenants,
+            counters=self.meter.counters(),
+            cache=self.store.stats() if self.store is not None else {},
+            peak_host_bytes=self.host_pool.lifetime_peak_bytes,
+            peak_device_bytes=self.device_pool.lifetime_peak_bytes,
+        )
+
+    # -- scheduling core -------------------------------------------------------
+
+    @staticmethod
+    def _identity(spec: JobSpec) -> str | None:
+        """Content identity of a job: what it assembles and how.
+
+        Two jobs with equal identity produce byte-identical artifacts, so
+        only one needs to run (single-flight). ``None`` (unreadable input)
+        disables dedup for the job — it will fail on its own terms.
+        """
+        digest = file_digest(Path(spec.source))
+        if digest is None:
+            return None
+        return phase_key("job", [f"reads:{digest}"], spec.config)
+
+    async def _run_async(self, specs: list[JobSpec],
+                         root: Path) -> dict[str, JobOutcome]:
+        self._queue = JobQueue(self.config)
+        self._execution_order: list[str] = []
+        self._release = asyncio.Event()
+        outcomes: dict[str, JobOutcome] = {}
+        # Single-flight grouping at submit time: the first job of each
+        # identity leads; the rest join its result without executing.
+        followers: dict[str, list[JobSpec]] = {}
+        leaders: dict[str, str] = {}
+        for spec in specs:
+            identity = self._identity(spec)
+            if identity is not None and identity in leaders:
+                followers.setdefault(leaders[identity], []).append(spec)
+                self.meter.bump("singleflight_joined")
+                continue
+            if identity is not None:
+                leaders[identity] = spec.job_id
+            self._queue.push(spec)
+        semaphore = asyncio.Semaphore(self.config.max_parallel)
+        tasks: list[asyncio.Task] = []
+        while len(self._queue):
+            tenant = self._queue.pick()
+            batch = self._queue.take_batch(tenant)
+            admitted = []
+            for spec in batch:
+                if (spec.config.memory.host_bytes
+                        > self.host_pool.capacity_bytes
+                        or spec.config.memory.device_bytes
+                        > self.device_pool.capacity_bytes):
+                    # No release can ever satisfy this demand: fail the job
+                    # fast instead of deadlocking the admission queue.
+                    self.meter.bump("admission_rejected")
+                    outcomes[spec.job_id] = JobOutcome(
+                        spec, "failed", executed=False,
+                        error="job memory demand exceeds the service budget")
+                else:
+                    admitted.append(spec)
+            batch = admitted
+            if not batch:
+                continue
+            demand_host = max(s.config.memory.host_bytes for s in batch)
+            demand_device = max(s.config.memory.device_bytes for s in batch)
+            if len(batch) > 1:
+                self.meter.bump("batches_coalesced")
+                self.meter.bump("jobs_batched", float(len(batch)))
+            await semaphore.acquire()
+            grants = await self._admit(demand_host, demand_device)
+            self._queue.charge(tenant, float(len(batch)))
+            for spec in batch:
+                self._execution_order.append(spec.job_id)
+            if self.config.max_parallel == 1:
+                # Inline on the scheduler thread: strict weighted-fair
+                # execution order, which the determinism tests pin down.
+                try:
+                    self._execute_batch(batch, root, outcomes)
+                finally:
+                    self._finish_batch(grants, semaphore)
+            else:
+                tasks.append(asyncio.create_task(
+                    self._run_batch_task(batch, root, outcomes, grants,
+                                         semaphore)))
+        if tasks:
+            await asyncio.gather(*tasks)
+        self._resolve_followers(followers, outcomes)
+        return outcomes
+
+    async def _admit(self, demand_host: int,
+                     demand_device: int) -> list:
+        """Wait until both budget grants succeed; returns the grants.
+
+        Pool ``try_alloc`` is the whole mechanism: a grant that would
+        oversubscribe simply fails, and the scheduler parks until a
+        running batch signals a release.
+        """
+        while True:
+            host_grant = self.host_pool.try_alloc(demand_host, label="admission")
+            if host_grant is not None:
+                device_grant = self.device_pool.try_alloc(demand_device,
+                                                          label="admission")
+                if device_grant is not None:
+                    return [host_grant, device_grant]
+                host_grant.free()
+            self.meter.bump("admission_blocked")
+            self._release.clear()
+            await self._release.wait()
+
+    def _finish_batch(self, grants: list, semaphore: asyncio.Semaphore) -> None:
+        for grant in grants:
+            grant.free()
+        semaphore.release()
+        self._release.set()
+
+    async def _run_batch_task(self, batch, root, outcomes, grants,
+                              semaphore) -> None:
+        try:
+            await asyncio.to_thread(self._execute_batch, batch, root, outcomes,
+                                    absorb=False)
+            # Telemetry is not thread-safe: fold the jobs' stats in from
+            # the loop thread, after the worker thread is done with them.
+            for spec in batch:
+                self._absorb(outcomes[spec.job_id])
+        finally:
+            self._finish_batch(grants, semaphore)
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute_batch(self, batch: list[JobSpec], root: Path,
+                       outcomes: dict[str, JobOutcome], *,
+                       absorb: bool = True) -> None:
+        for spec in batch:
+            outcome = self._execute_job(spec, root)
+            outcomes[spec.job_id] = outcome
+            if absorb:
+                self._absorb(outcome)
+
+    def _execute_job(self, spec: JobSpec, root: Path) -> JobOutcome:
+        workdir = root / "jobs" / spec.job_id
+        workdir.mkdir(parents=True, exist_ok=True)
+        assembler = Assembler(spec.config, content_store=self.store)
+        self.meter.bump("pipeline_runs")
+        self.tracer.instant("job-start", track="service",
+                            job=spec.job_id, tenant=spec.tenant)
+        start = time.perf_counter()
+        try:
+            result = assembler.assemble(spec.source, workdir=workdir,
+                                        resume=True)
+        except FaultInjected as exc:
+            # An injected crash killed the job, not the service: clear the
+            # armed crash like the chaos harness's process restart would.
+            faults.clear_crash()
+            return self._failed(spec, workdir, exc, start)
+        except (ReproError, OSError) as exc:
+            return self._failed(spec, workdir, exc, start)
+        wall = time.perf_counter() - start
+        self.tracer.instant("job-done", track="service",
+                            job=spec.job_id, wall_s=wall)
+        return JobOutcome(spec, "done", result=result, wall_seconds=wall,
+                          sim_seconds=result.telemetry.total_sim_seconds(),
+                          workdir=workdir)
+
+    def _failed(self, spec: JobSpec, workdir: Path, exc: BaseException,
+                start: float) -> JobOutcome:
+        self.meter.bump("jobs_failed")
+        error = f"{type(exc).__name__}: {exc}"
+        self.tracer.instant("job-failed", track="service",
+                            job=spec.job_id, error=error)
+        return JobOutcome(spec, "failed", error=error, workdir=workdir,
+                          wall_seconds=time.perf_counter() - start)
+
+    def _absorb(self, outcome: JobOutcome) -> None:
+        if outcome.result is None:
+            return
+        for stats in outcome.result.telemetry:
+            self.telemetry.absorb(stats, namespace=outcome.spec.job_id)
+
+    def _resolve_followers(self, followers: dict[str, list[JobSpec]],
+                           outcomes: dict[str, JobOutcome]) -> None:
+        """Give each single-flight follower its leader's outcome."""
+        for leader_id, specs in followers.items():
+            leader = outcomes[leader_id]
+            for spec in specs:
+                outcomes[spec.job_id] = JobOutcome(
+                    spec, leader.status, result=leader.result,
+                    error=leader.error, executed=False, joined=leader_id,
+                    sim_seconds=leader.sim_seconds)

@@ -269,12 +269,24 @@ class _PhaseContext:
             tracer.pop_phase()
 
 
+#: Separator between a job namespace and a phase name in aggregated stats
+#: (``"job003/map"``). Chosen so it can never collide with a phase name.
+NAMESPACE_SEP = "/"
+
+
 class Telemetry:
     """Collects :class:`PhaseStats` for a pipeline run.
 
     Phases with the same name occurring more than once (e.g. per-partition
     sort rounds) are merged: wall times and counters accumulate, peaks take
     the maximum — matching how the paper reports one row per phase.
+
+    A *service-level* aggregate collecting many concurrent jobs must not
+    let two jobs' same-named phases collide at collection time: their
+    counter deltas come from different meter sets and their peaks are
+    unrelated, so silently merging ``map`` with ``map`` produces totals
+    attributed to the wrong job. Use :meth:`absorb` with a per-job
+    namespace, and :meth:`merged_by_phase` for correct cross-job totals.
     """
 
     def __init__(self, *, tracer=None) -> None:
@@ -310,6 +322,40 @@ class Telemetry:
         else:
             self._phases[stats.name] = stats
             self._order.append(stats.name)
+
+    def absorb(self, stats: PhaseStats, *, namespace: str | None = None) -> None:
+        """Fold a finished :class:`PhaseStats` from another run into this one.
+
+        With a ``namespace`` (a job id), the stats are recorded under
+        ``"<namespace>/<name>"`` so two concurrent jobs running the same
+        phase land in distinct rows — the collision fix for multi-tenant
+        aggregation. Failed stats go to :attr:`failed`, never the totals.
+        """
+        name = (f"{namespace}{NAMESPACE_SEP}{stats.name}" if namespace
+                else stats.name)
+        copied = PhaseStats(name, stats.wall_seconds, dict(stats.counters),
+                            dict(stats.peaks), stats.error)
+        if copied.error is None:
+            self._record(copied)
+        else:
+            self._failed.append(copied)
+
+    def merged_by_phase(self) -> dict[str, PhaseStats]:
+        """Per-phase totals with job namespaces stripped.
+
+        ``job001/map`` and ``job002/map`` merge into one ``map`` row (wall
+        times and counters add, peaks take the max over jobs) — the
+        cross-job analog of the paper's one-row-per-phase tables.
+        """
+        merged: dict[str, PhaseStats] = {}
+        for stats in self:
+            base = stats.name.rsplit(NAMESPACE_SEP, 1)[-1]
+            renamed = PhaseStats(base, stats.wall_seconds,
+                                 dict(stats.counters), dict(stats.peaks),
+                                 stats.error)
+            merged[base] = (merged[base].merged_with(renamed)
+                            if base in merged else renamed)
+        return merged
 
     def __iter__(self) -> Iterator[PhaseStats]:
         return (self._phases[name] for name in self._order)

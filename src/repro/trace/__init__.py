@@ -5,9 +5,9 @@ See :mod:`repro.trace.tracer` for the recording side,
 :mod:`repro.trace.analysis` for summarization and telemetry reconciliation.
 """
 
-from .analysis import (TraceSummary, TrackSummary, check_balanced,
-                       load_events, reconcile, resilience_events, summarize,
-                       validate_perfetto)
+from .analysis import (TraceSummary, TrackSummary, cache_events,
+                       check_balanced, load_events, reconcile,
+                       resilience_events, summarize, validate_perfetto)
 from .perfetto import build_perfetto, pair_spans
 from .tracer import (EVENTS_FILE, MANIFEST_FILE, NULL_TRACER, PERFETTO_FILE,
                      PERFETTO_SIM_FILE, TRACE_FORMAT_VERSION, BoundTracer,
@@ -26,6 +26,7 @@ __all__ = [
     "build_perfetto",
     "pair_spans",
     "load_events",
+    "cache_events",
     "check_balanced",
     "summarize",
     "reconcile",

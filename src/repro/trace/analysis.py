@@ -191,6 +191,38 @@ def resilience_events(events: str | Path | Iterable[Mapping]) -> dict:
     return counts
 
 
+def cache_events(events: str | Path | Iterable[Mapping]) -> dict:
+    """Aggregate the content-cache instrumentation out of one event log.
+
+    The :class:`~repro.service.content_store.ContentStore` emits instants
+    on the ``cache`` track for every lookup outcome; this rolls them up
+    into the shape the service benchmark and CI leg report on::
+
+        {"hits": int, "misses": int, "puts": int, "evictions": int,
+         "damaged": int, "hit_bytes": int, "evicted_bytes": int}
+
+    A run without a configured cache yields all zeros.
+    """
+    if isinstance(events, (str, Path)):
+        events = load_events(events)
+    counts = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0,
+              "damaged": 0, "hit_bytes": 0, "evicted_bytes": 0}
+    markers = {"cache-hit": "hits", "cache-miss": "misses",
+               "cache-put": "puts", "cache-evict": "evictions",
+               "cache-damaged": "damaged"}
+    spans, _unmatched = pair_spans(events)
+    for span in spans:
+        key = markers.get(span["name"])
+        if key is None or span["track"] != "cache":
+            continue
+        counts[key] += 1
+        if span["name"] == "cache-hit":
+            counts["hit_bytes"] += int(span["args"].get("bytes", 0))
+        elif span["name"] == "cache-evict":
+            counts["evicted_bytes"] += int(span["args"].get("bytes", 0))
+    return counts
+
+
 def reconcile(summary: TraceSummary, telemetry: Telemetry, *,
               wall_tol_s: float = 1e-3,
               overlap_tol_s: float = 1e-6) -> dict:

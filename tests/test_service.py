@@ -1,0 +1,346 @@
+"""Assembly service: fairness, admission, batching, single-flight, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AssemblyConfig, MemoryConfig, ServiceConfig
+from repro.errors import ConfigError, ReproError
+from repro.seq.simulate import ReadSimulator, simulate_genome
+from repro.service import AssemblyService, JobQueue, JobSpec
+from repro.telemetry import PhaseStats, Telemetry
+
+
+def _write_reads(path, seed, *, genome_length=500, read_length=40,
+                 coverage=5.0):
+    genome = simulate_genome(genome_length, seed=seed)
+    ReadSimulator(genome, read_length, coverage, seed=seed).to_fastq(path)
+    return path
+
+
+def _job_config(host=32 << 20, device=4 << 20):
+    return AssemblyConfig(min_overlap=20,
+                          memory=MemoryConfig(host, device, name="svc-test"))
+
+
+@pytest.fixture()
+def sources(tmp_path):
+    """Four distinct tiny FASTQ inputs (distinct = no single-flight)."""
+    return [_write_reads(tmp_path / f"reads{i}.fastq", seed=100 + i)
+            for i in range(4)]
+
+
+def _service(tmp_path, **overrides):
+    defaults = dict(workdir=str(tmp_path / "svc"),
+                    host_budget_bytes=256 << 20,
+                    device_budget_bytes=32 << 20)
+    defaults.update(overrides)
+    return AssemblyService(ServiceConfig(**defaults))
+
+
+# -- ServiceConfig validation --------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_parallel": 0},
+    {"host_budget_bytes": 0},
+    {"device_budget_bytes": -1},
+    {"cache_bytes": 0},
+    {"batch_max_bytes": -1},
+    {"batch_max_jobs": 0},
+    {"tenant_weights": {"a": 0.0}},
+])
+def test_service_config_rejects_bad_knobs(kwargs):
+    with pytest.raises(ConfigError):
+        ServiceConfig(**kwargs)
+
+
+def test_tenant_weight_defaults_to_one():
+    config = ServiceConfig(tenant_weights={"vip": 3.0})
+    assert config.weight("vip") == 3.0
+    assert config.weight("anyone-else") == 1.0
+
+
+# -- telemetry namespacing (the concurrent-job collision fix) ------------------
+
+
+def test_absorb_namespaces_keep_concurrent_jobs_apart():
+    telemetry = Telemetry()
+    job1 = PhaseStats("map", wall_seconds=1.0, counters={"sim_seconds": 2.0},
+                      peaks={"device_bytes": 100.0})
+    job2 = PhaseStats("map", wall_seconds=3.0, counters={"sim_seconds": 4.0},
+                      peaks={"device_bytes": 300.0})
+    telemetry.absorb(job1, namespace="job001")
+    telemetry.absorb(job2, namespace="job002")
+    # Without namespacing these two collide into one merged "map" row and
+    # per-job attribution is lost — the bug this PR fixes.
+    assert "job001/map" in telemetry and "job002/map" in telemetry
+    assert "map" not in telemetry
+    assert telemetry["job001/map"].wall_seconds == 1.0
+    assert telemetry["job002/map"].peaks["device_bytes"] == 300.0
+
+
+def test_merged_by_phase_strips_namespaces():
+    telemetry = Telemetry()
+    telemetry.absorb(PhaseStats("map", 1.0, {"sim_seconds": 2.0},
+                                {"device_bytes": 100.0}), namespace="job001")
+    telemetry.absorb(PhaseStats("map", 3.0, {"sim_seconds": 4.0},
+                                {"device_bytes": 300.0}), namespace="job002")
+    merged = telemetry.merged_by_phase()
+    assert set(merged) == {"map"}
+    assert merged["map"].wall_seconds == 4.0          # walls add
+    assert merged["map"].counters["sim_seconds"] == 6.0
+    assert merged["map"].peaks["device_bytes"] == 300.0  # peaks max
+
+
+def test_absorb_failed_stats_stay_out_of_totals():
+    telemetry = Telemetry()
+    telemetry.absorb(PhaseStats("sort", 1.0, error="Boom: x"),
+                     namespace="job001")
+    assert "job001/sort" not in telemetry
+    assert [stats.name for stats in telemetry.failed] == ["job001/sort"]
+
+
+def test_service_telemetry_has_one_row_per_job_phase(tmp_path, sources):
+    service = _service(tmp_path)
+    config = _job_config()
+    report = service.run_jobs([JobSpec("a", "t", sources[0], config),
+                               JobSpec("b", "t", sources[1], config)])
+    assert report.n_failed == 0
+    for phase in ("load", "map", "sort", "reduce", "compress"):
+        assert f"a/{phase}" in service.telemetry
+        assert f"b/{phase}" in service.telemetry
+    assert set(service.telemetry.merged_by_phase()) \
+        == {"load", "map", "sort", "reduce", "compress"}
+
+
+# -- single-flight dedup -------------------------------------------------------
+
+
+def test_identical_concurrent_jobs_execute_once(tmp_path, sources):
+    """N identical jobs, cache off: exactly one pipeline execution."""
+    service = _service(tmp_path)  # no cache_dir: dedup alone is at work
+    config = _job_config()
+    n = 5
+    specs = [JobSpec(f"job{i}", f"tenant{i % 2}", sources[0], config)
+             for i in range(n)]
+    report = service.run_jobs(specs)
+    assert report.n_done == n
+    assert report.counters["pipeline_runs"] == 1
+    assert report.counters["singleflight_joined"] == n - 1
+    leader, *followers = report.outcomes
+    assert leader.executed and leader.joined is None
+    payload = leader.contig_bytes()
+    assert payload
+    for outcome in followers:
+        assert not outcome.executed and outcome.joined == "job0"
+        assert outcome.contig_bytes() == payload  # byte-identical results
+
+
+def test_different_configs_do_not_dedup(tmp_path, sources):
+    import dataclasses
+
+    service = _service(tmp_path)
+    base = _job_config()
+    specs = [JobSpec("a", "t", sources[0], base),
+             JobSpec("b", "t", sources[0],
+                     dataclasses.replace(base, min_overlap=25))]
+    report = service.run_jobs(specs)
+    assert report.counters["pipeline_runs"] == 2
+    assert "singleflight_joined" not in report.counters
+
+
+def test_execution_only_knobs_still_dedup(tmp_path, sources):
+    """workers/trace differences cannot split single-flight identity."""
+    import dataclasses
+
+    service = _service(tmp_path)
+    base = _job_config()
+    variant = dataclasses.replace(base, workers=2, executor_backend="threads")
+    report = service.run_jobs([JobSpec("a", "t", sources[0], base),
+                               JobSpec("b", "t", sources[0], variant)])
+    assert report.counters["pipeline_runs"] == 1
+    assert report.counters["singleflight_joined"] == 1
+
+
+def test_failed_leader_fails_its_followers(tmp_path):
+    missing = tmp_path / "never-written.fastq"
+    missing.write_bytes(b"@r\nACGT\n+\nIIII\n")  # readable but degenerate
+    service = _service(tmp_path)
+    config = _job_config()
+    report = service.run_jobs([JobSpec("a", "t", missing, config),
+                               JobSpec("b", "t", missing, config)])
+    assert report.counters["pipeline_runs"] == 1
+    statuses = {o.spec.job_id: o.status for o in report.outcomes}
+    assert statuses["a"] == statuses["b"]
+    leader, follower = report.outcomes
+    assert follower.joined == "a" and follower.error == leader.error
+
+
+def test_duplicate_job_ids_rejected(tmp_path, sources):
+    service = _service(tmp_path)
+    config = _job_config()
+    with pytest.raises(ReproError, match="duplicate job id"):
+        service.run_jobs([JobSpec("same", "t", sources[0], config),
+                          JobSpec("same", "t", sources[1], config)])
+
+
+# -- weighted fair queuing -----------------------------------------------------
+
+
+def test_jobqueue_orders_by_served_over_weight():
+    queue = JobQueue(ServiceConfig(tenant_weights={"alice": 2.0},
+                                   batch_max_bytes=0))
+    config = _job_config()
+    for index in range(6):
+        queue.push(JobSpec(f"a{index}", "alice", f"/na/{index}", config))
+    for index in range(3):
+        queue.push(JobSpec(f"b{index}", "bob", f"/nb/{index}", config))
+    order = []
+    while len(queue):
+        tenant = queue.pick()
+        batch = queue.take_batch(tenant)
+        order.extend(spec.job_id for spec in batch)
+        queue.charge(tenant, float(len(batch)))
+    # Tie at 0 served breaks to "alice"; thereafter argmin(served/weight).
+    assert order == ["a0", "b0", "a1", "a2", "b1", "a3", "a4", "b2", "a5"]
+
+
+def test_weighted_fair_prefix_bound(tmp_path, sources):
+    """Every execution prefix tracks the 2:1 weight split within one job."""
+    for index in range(4, 9):
+        sources.append(_write_reads(tmp_path / f"extra{index}.fastq",
+                                    seed=200 + index))
+    service = _service(tmp_path, batch_max_bytes=0,
+                       tenant_weights={"alice": 2.0})
+    config = _job_config()
+    specs = []
+    for index in range(6):
+        specs.append(JobSpec(f"a{index}", "alice", sources[index], config))
+    for index in range(3):
+        specs.append(JobSpec(f"b{index}", "bob", sources[6 + index], config))
+    report = service.run_jobs(specs)
+    assert report.n_failed == 0
+    assert len(report.execution_order) == 9
+    for prefix_len in range(1, 10):
+        prefix = report.execution_order[:prefix_len]
+        served_a = sum(1 for job in prefix if job.startswith("a"))
+        served_b = prefix_len - served_a
+        # Normalized service (served/weight) may never diverge by more
+        # than one job's worth while both tenants still have work queued.
+        if served_a < 6 and served_b < 3:
+            assert abs(served_a / 2.0 - served_b / 1.0) <= 1.0
+    assert report.tenants["alice"].served_units == 6.0
+    assert report.tenants["bob"].served_units == 3.0
+
+
+def test_unweighted_tenants_alternate(tmp_path, sources):
+    service = _service(tmp_path, batch_max_bytes=0)
+    config = _job_config()
+    specs = [JobSpec("a0", "alice", sources[0], config),
+             JobSpec("a1", "alice", sources[1], config),
+             JobSpec("b0", "bob", sources[2], config),
+             JobSpec("b1", "bob", sources[3], config)]
+    report = service.run_jobs(specs)
+    assert report.execution_order == ["a0", "b0", "a1", "b1"]
+
+
+# -- admission control ---------------------------------------------------------
+
+
+def test_no_oversubscription_under_concurrency(tmp_path, sources):
+    """Admitted demand never exceeds the budget even with parallel workers."""
+    demand_host, demand_device = 32 << 20, 4 << 20
+    service = _service(tmp_path, max_parallel=4,
+                       host_budget_bytes=int(demand_host * 2.5),
+                       device_budget_bytes=int(demand_device * 2.5),
+                       batch_max_bytes=0)
+    config = _job_config(demand_host, demand_device)
+    specs = [JobSpec(f"job{i}", f"tenant{i}", src, config)
+             for i, src in enumerate(sources)]
+    report = service.run_jobs(specs)
+    assert report.n_failed == 0
+    # Budget fits 2 of the 4 demands: the pool peak proves only 2 ran at
+    # once, and at least one job waited at admission.
+    assert report.peak_host_bytes == 2 * demand_host
+    assert report.peak_device_bytes == 2 * demand_device
+    assert report.peak_host_bytes <= service.host_pool.capacity_bytes
+    assert report.counters["admission_blocked"] >= 1
+    assert service.host_pool.used_bytes == 0  # every grant released
+
+
+def test_serial_admission_never_blocks(tmp_path, sources):
+    service = _service(tmp_path, host_budget_bytes=64 << 20,
+                       device_budget_bytes=8 << 20, batch_max_bytes=0)
+    config = _job_config()
+    specs = [JobSpec(f"job{i}", "t", src, config)
+             for i, src in enumerate(sources[:2])]
+    report = service.run_jobs(specs)
+    assert report.n_failed == 0
+    assert "admission_blocked" not in report.counters
+    assert report.peak_host_bytes == 32 << 20
+
+
+def test_demand_beyond_budget_fails_fast(tmp_path, sources):
+    service = _service(tmp_path, host_budget_bytes=16 << 20,
+                       device_budget_bytes=2 << 20)
+    hungry = _job_config(64 << 20, 8 << 20)
+    fits = _job_config(8 << 20, 1 << 20)
+    report = service.run_jobs([JobSpec("big", "t", sources[0], hungry),
+                               JobSpec("ok", "t", sources[1], fits)])
+    outcomes = {o.spec.job_id: o for o in report.outcomes}
+    assert outcomes["big"].status == "failed"
+    assert "exceeds the service budget" in outcomes["big"].error
+    assert not outcomes["big"].executed
+    assert outcomes["ok"].ok
+    assert report.counters["admission_rejected"] == 1
+
+
+# -- batch coalescing ----------------------------------------------------------
+
+
+def test_small_jobs_coalesce_into_one_batch(tmp_path, sources):
+    service = _service(tmp_path, batch_max_jobs=4,
+                       batch_max_bytes=10 << 20)
+    config = _job_config()
+    specs = [JobSpec(f"job{i}", "t", src, config)
+             for i, src in enumerate(sources)]
+    report = service.run_jobs(specs)
+    assert report.n_failed == 0
+    assert report.counters["batches_coalesced"] == 1
+    assert report.counters["jobs_batched"] == 4
+    assert report.execution_order == [s.job_id for s in specs]
+    # One admission grant for the whole batch.
+    assert report.peak_host_bytes == 32 << 20
+
+
+def test_batching_respects_max_jobs(tmp_path, sources):
+    service = _service(tmp_path, batch_max_jobs=2, batch_max_bytes=10 << 20)
+    config = _job_config()
+    report = service.run_jobs([JobSpec(f"job{i}", "t", src, config)
+                               for i, src in enumerate(sources)])
+    assert report.counters["batches_coalesced"] == 2
+    assert report.counters["jobs_batched"] == 4
+
+
+def test_large_jobs_never_batch(tmp_path, sources):
+    service = _service(tmp_path, batch_max_bytes=1)  # nothing is "small"
+    config = _job_config()
+    report = service.run_jobs([JobSpec(f"job{i}", "t", src, config)
+                               for i, src in enumerate(sources[:2])])
+    assert "batches_coalesced" not in report.counters
+
+
+# -- parallel execution --------------------------------------------------------
+
+
+def test_parallel_results_match_serial(tmp_path, sources):
+    config = _job_config()
+    specs = [JobSpec(f"job{i}", f"tenant{i % 2}", src, config)
+             for i, src in enumerate(sources)]
+    serial = _service(tmp_path, workdir=str(tmp_path / "s1")).run_jobs(specs)
+    parallel = _service(tmp_path, workdir=str(tmp_path / "s2"),
+                        max_parallel=3).run_jobs(specs)
+    assert serial.n_failed == 0 and parallel.n_failed == 0
+    for a, b in zip(serial.outcomes, parallel.outcomes):
+        assert a.contig_bytes() == b.contig_bytes()
