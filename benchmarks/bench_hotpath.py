@@ -1,0 +1,276 @@
+"""Hot-path memory benchmark: pooled + in-place substrate vs. seed path.
+
+Runs the map + sort phases (the allocator-bound hot path) on the Fig. 8
+workload — the scaled H.Genome partition dataset — under two substrate
+variants and records the perf-trajectory artifact
+``benchmarks/results/BENCH_hotpath.json``:
+
+* ``seed``   — ``buffer_pool=False`` + ``REPRO_LEGACY_SCAN=1`` +
+  ``REPRO_LEGACY_IO=1``: fresh numpy allocations per transfer/kernel, the
+  per-lane reference scan formulation, and one OS write / one bytes round
+  trip per stream op, reproducing the pre-optimization hot path;
+* ``pooled`` — the default substrate: :class:`repro.device.memory.BufferPool`
+  recycling, zero-copy transfers, and the stacked in-place scan kernels.
+
+Each variant runs in its own subprocess: ``--repeats`` interleaved clean
+passes for wall seconds (per phase and total, reduced by minimum — the
+robust estimator under machine noise) and one instrumented pass for
+tracemalloc peaks (tracemalloc skews wall time, so the passes are
+separate). Peak RSS (``VmHWM``) is per-variant because each variant owns
+its process. The two variants must produce byte-identical artifacts and
+identical simulated seconds — the benchmark fails loudly if they diverge,
+making it double as an end-to-end equivalence check.
+
+``--smoke`` swaps in a tiny dataset (CI plumbing + regression gate);
+``--check`` compares the fresh pooled wall time against a previously
+committed results file and exits 1 on a >25% regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_hotpath.json"
+#: Wall-time regression threshold for ``--check`` (fraction over baseline).
+REGRESSION_LIMIT = 0.25
+VARIANTS = ("seed", "pooled")
+
+
+def _workload(mode: str, root: Path):
+    """(name, store_path, config) for the benchmark mode."""
+    from repro.config import AssemblyConfig, MemoryConfig
+
+    if mode == "smoke":
+        from repro.seq.datasets import tiny_dataset
+
+        materialized, _ = tiny_dataset(root / "data", genome_length=4000,
+                                       read_length=50, coverage=15.0,
+                                       min_overlap=25, seed=11)
+        config = AssemblyConfig(min_overlap=25,
+                                memory=MemoryConfig(64 << 20, 1 << 20),
+                                fingerprint_lanes=2)
+        return "tiny_sim(map+sort)", materialized.store_path, config
+    from _common import dataset, scaled_memory
+
+    materialized = dataset("H.Genome")
+    config = AssemblyConfig(min_overlap=materialized.spec.min_overlap,
+                            memory=scaled_memory("qb2"), device_name="K40",
+                            fingerprint_lanes=2)
+    return "hgenome_sim(map+sort)", materialized.store_path, config
+
+
+def _digest_workdir(workdir: Path) -> str:
+    """Order-independent digest of every artifact byte under the workdir."""
+    digest = hashlib.sha256()
+    for path in sorted(workdir.rglob("*")):
+        if path.is_file():
+            digest.update(str(path.relative_to(workdir)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _vm_hwm_bytes() -> int | None:
+    """Peak resident set of this process (Linux ``VmHWM``), in bytes."""
+    try:
+        status = Path("/proc/self/status").read_text()
+    except OSError:
+        return None
+    for line in status.splitlines():
+        if line.startswith("VmHWM:"):
+            return int(line.split()[1]) * 1024
+    return None
+
+
+def _run_one(mode: str, variant: str, trace_memory: bool, out_path: Path) -> int:
+    """Child process: one map+sort run; writes a JSON measurement."""
+    from dataclasses import replace
+
+    from repro.core.context import RunContext
+    from repro.core.map_phase import run_map
+    from repro.core.sort_phase import run_sort
+    from repro.seq.packing import PackedReadStore
+
+    with tempfile.TemporaryDirectory(prefix=f"hotpath-{variant}-") as tmp:
+        tmp_root = Path(tmp)
+        workload, store_path, config = _workload(mode, tmp_root)
+        config = replace(config, buffer_pool=(variant == "pooled"))
+        workdir = tmp_root / "work"
+        ctx = RunContext(config, workdir=workdir)
+        phases = {}
+        try:
+            begin = time.perf_counter()
+            with PackedReadStore.open(store_path) as store:
+                for name in ("map", "sort"):
+                    if trace_memory:
+                        tracemalloc.start()
+                    with ctx.telemetry.phase(name):
+                        if name == "map":
+                            partitions, _ = run_map(ctx, store)
+                        else:
+                            run_sort(ctx, partitions)
+                    entry = {"wall_s": round(
+                        ctx.telemetry[name].wall_seconds, 4)}
+                    if trace_memory:
+                        entry["tracemalloc_peak_bytes"] = \
+                            tracemalloc.get_traced_memory()[1]
+                        tracemalloc.stop()
+                    phases[name] = entry
+            wall = time.perf_counter() - begin
+            measurement = {
+                "workload": workload,
+                "variant": variant,
+                "wall_s": round(wall, 4),
+                "sim_s": repr(sum(s.sim_seconds for s in ctx.telemetry)),
+                "phases": phases,
+                "digest": _digest_workdir(workdir),
+                "vm_hwm_bytes": _vm_hwm_bytes(),
+                "bufpool": dict(ctx.gpu.buffers.counters()),
+            }
+        finally:
+            ctx.cleanup()
+    out_path.write_text(json.dumps(measurement, indent=2))
+    return 0
+
+
+def _spawn(mode: str, variant: str, trace_memory: bool, out_path: Path) -> dict:
+    env = dict(os.environ)
+    env["REPRO_LEGACY_SCAN"] = "1" if variant == "seed" else "0"
+    env["REPRO_LEGACY_IO"] = "1" if variant == "seed" else "0"
+    env.pop("REPRO_WORKERS", None)
+    env.pop("REPRO_BACKEND", None)
+    argv = [sys.executable, str(Path(__file__).resolve()),
+            "--run-one", variant, "--mode", mode, "--out", str(out_path)]
+    if trace_memory:
+        argv.append("--trace-memory")
+    subprocess.run(argv, check=True, env=env)
+    return json.loads(out_path.read_text())
+
+
+def smoke_baseline_path() -> Path:
+    return RESULTS_PATH.with_name("BENCH_hotpath_smoke.json")
+
+
+def _check_regression(fresh: dict, baseline_path: Path) -> int:
+    """Exit status of the wall-time regression gate."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("mode") != fresh["mode"]:
+        print(f"baseline mode {baseline.get('mode')!r} != {fresh['mode']!r}; "
+              "skipping regression check")
+        return 0
+    old = baseline["variants"]["pooled"]["wall_s"]
+    new = fresh["variants"]["pooled"]["wall_s"]
+    limit = old * (1.0 + REGRESSION_LIMIT)
+    verdict = "REGRESSION" if new > limit else "ok"
+    print(f"regression check: pooled wall {new:.3f}s vs baseline {old:.3f}s "
+          f"(limit {limit:.3f}s): {verdict}")
+    return 1 if new > limit else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset, seconds not minutes")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved wall-time passes per variant "
+                             "(minimum is reported)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >25%% pooled wall regression vs the "
+                             "committed results file")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="results file (default: the committed artifact "
+                             "for the mode)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline for --check (default: the committed "
+                             "artifact for the mode)")
+    parser.add_argument("--run-one", choices=VARIANTS, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--mode", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--out", type=Path, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--trace-memory", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.run_one:
+        return _run_one(args.mode, args.run_one, args.trace_memory, args.out)
+
+    mode = "smoke" if args.smoke else "full"
+    committed = smoke_baseline_path() if args.smoke else RESULTS_PATH
+    output = args.output if args.output is not None else committed
+    baseline = args.baseline if args.baseline is not None else committed
+    repeats = max(1, args.repeats)
+    variants: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="hotpath-out-") as tmp:
+        passes: dict[str, list[dict]] = {v: [] for v in VARIANTS}
+        for rep in range(repeats):
+            for variant in VARIANTS:  # interleaved: noise hits both alike
+                passes[variant].append(
+                    _spawn(mode, variant, False, Path(tmp) / "t.json"))
+        for variant in VARIANTS:
+            runs = passes[variant]
+            timing = dict(runs[0])
+            if any(r["digest"] != timing["digest"] or
+                   r["sim_s"] != timing["sim_s"] for r in runs[1:]):
+                print(f"FATAL: {variant} passes diverged between repeats",
+                      file=sys.stderr)
+                return 2
+            timing["wall_s"] = min(r["wall_s"] for r in runs)
+            timing["phases"] = {
+                phase: {"wall_s": min(r["phases"][phase]["wall_s"]
+                                      for r in runs)}
+                for phase in timing["phases"]}
+            memory = _spawn(mode, variant, True, Path(tmp) / "m.json")
+            for phase, entry in timing["phases"].items():
+                entry["tracemalloc_peak_bytes"] = \
+                    memory["phases"][phase]["tracemalloc_peak_bytes"]
+            timing["vm_hwm_bytes"] = memory["vm_hwm_bytes"] or \
+                timing["vm_hwm_bytes"]
+            variants[variant] = timing
+            print(f"{variant}: wall={timing['wall_s']:.3f}s "
+                  f"(map {timing['phases']['map']['wall_s']:.3f}s, "
+                  f"sort {timing['phases']['sort']['wall_s']:.3f}s) "
+                  f"sim={timing['sim_s']} rss={timing['vm_hwm_bytes']} "
+                  f"over {repeats} passes")
+
+    identical = (variants["seed"]["digest"] == variants["pooled"]["digest"]
+                 and variants["seed"]["sim_s"] == variants["pooled"]["sim_s"])
+    speedup = variants["seed"]["wall_s"] / variants["pooled"]["wall_s"]
+    print(f"speedup: {speedup:.2f}x  artifacts identical: {identical}")
+    if not identical:
+        print("FATAL: variants diverged (artifact bytes or simulated time)",
+              file=sys.stderr)
+        return 2
+
+    result = {"cpu_count": os.cpu_count(), "mode": mode, "repeats": repeats,
+              "speedup": round(speedup, 3), "identical_artifacts": identical,
+              "variants": variants}
+    status = 0
+    if args.check:
+        status = _check_regression(result, baseline)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {output}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

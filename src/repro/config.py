@@ -199,6 +199,17 @@ class AssemblyConfig:
         event log plus Chrome/Perfetto trace JSON there (see
         :mod:`repro.trace`). Purely observational: does not affect output
         or the checkpoint fingerprint.
+    buffer_pool:
+        Recycle the real numpy buffers behind device arrays through a
+        free list (:class:`repro.device.memory.BufferPool`) instead of
+        allocating fresh ones per transfer/kernel. Wall-clock only: the
+        simulated clock, metered peaks and every artifact byte are
+        identical either way, so it is excluded from the checkpoint
+        fingerprint like ``workers``.
+    pool_max_bytes:
+        Cap on bytes the buffer-pool free list may retain (``0``, the
+        default, derives the cap from the device budget). Wall-clock
+        only, like ``buffer_pool``.
     heartbeat_interval / node_timeout / reduce_max_attempts /
     retry_backoff_s / node_restarts / allow_degraded:
         Distributed-resilience knobs (see
@@ -227,6 +238,8 @@ class AssemblyConfig:
     workers: int = field(default_factory=default_workers)
     executor_backend: str = field(default_factory=default_backend)
     trace: str = ""
+    buffer_pool: bool = True
+    pool_max_bytes: int = 0
     # -- distributed resilience (repro.distributed.resilience) -----------------
     #: Simulated seconds between worker heartbeats to the supervisor.
     heartbeat_interval: float = 0.25
@@ -254,6 +267,8 @@ class AssemblyConfig:
             raise ConfigError("block/batch overrides must be >= 0 (0 = auto)")
         if self.merge_fanout < 0 or self.merge_fanout == 1:
             raise ConfigError("merge_fanout must be 0 (auto) or >= 2")
+        if self.pool_max_bytes < 0:
+            raise ConfigError("pool_max_bytes must be >= 0 (0 = auto)")
         validate_workers(self.workers)
         from .parallel.backend import check_backend
 

@@ -75,11 +75,15 @@ def file_digest(path: Path) -> str | None:
 #: * ``trace`` — observation-only: tracing never changes artifacts,
 #: * ``keep_workdir`` — housekeeping,
 #: * the resilience-policy knobs — they change how failures are survived,
-#:   never what a surviving run produces (recovered runs are byte-identical).
+#:   never what a surviving run produces (recovered runs are byte-identical),
+#: * ``buffer_pool`` / ``pool_max_bytes`` — substrate-only: recycling the
+#:   numpy buffers behind device arrays changes wall-clock time and
+#:   allocator traffic, never an artifact byte or a simulated-clock charge.
 NON_SEMANTIC_KNOBS = ("workers", "executor_backend", "trace", "keep_workdir",
                       "heartbeat_interval", "node_timeout",
                       "reduce_max_attempts", "retry_backoff_s",
-                      "node_restarts", "allow_degraded")
+                      "node_restarts", "allow_degraded",
+                      "buffer_pool", "pool_max_bytes")
 
 
 def semantic_payload(config: AssemblyConfig) -> dict:

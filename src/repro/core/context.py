@@ -8,7 +8,7 @@ from pathlib import Path
 
 from ..config import AssemblyConfig
 from ..device import SimClock, VirtualGPU
-from ..device.memory import MemoryPool
+from ..device.memory import BufferPool, MemoryPool
 from ..device.specs import DiskSpec, HostSpec
 from ..errors import HostMemoryError
 from ..extmem import IOAccountant
@@ -41,7 +41,10 @@ class RunContext:
         self.accountant = IOAccountant(self.disk, self.clock)
         self.gpu = VirtualGPU(config.device_name,
                               capacity_bytes=config.memory.device_bytes,
-                              clock=self.clock)
+                              clock=self.clock,
+                              buffers=BufferPool(
+                                  config.pool_max_bytes or config.memory.device_bytes,
+                                  enabled=config.buffer_pool))
         self.host_pool = MemoryPool("host", config.memory.host_bytes, HostMemoryError)
         self.scheme = FingerprintScheme(lanes=config.fingerprint_lanes,
                                         seed=config.seed & 0xFFFF)

@@ -35,6 +35,7 @@ same :func:`_fingerprint_batch` kernel).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +44,7 @@ from ..errors import ConfigError
 from ..extmem import PartitionStore
 from ..extmem.records import AUX_FIELD, KEY_FIELD, VAL_FIELD, kv_dtype
 from ..fingerprint import FingerprintScheme
+from ..fingerprint.scan import ScanWorkspace
 from ..parallel import shm
 from ..seq.alphabet import reverse_complement
 from ..seq.packing import PackedReadStore, unpack_codes
@@ -116,6 +118,18 @@ def _record_blocks(prefix_keys, suffix_keys, vertices: np.ndarray,
     return prefix_block, suffix_block
 
 
+#: Per-thread scan scratch: `_fingerprint_batch` runs concurrently on pool
+#: worker threads, and a workspace's buffers alias across calls.
+_SCAN_TLS = threading.local()
+
+
+def _scan_workspace() -> ScanWorkspace:
+    workspace = getattr(_SCAN_TLS, "workspace", None)
+    if workspace is None:
+        workspace = _SCAN_TLS.workspace = ScanWorkspace()
+    return workspace
+
+
 def _fingerprint_batch(codes0: np.ndarray, read_ids: np.ndarray,
                        scheme: FingerprintScheme, prefix_cols: np.ndarray,
                        suffix_cols: np.ndarray, dtype: np.dtype):
@@ -125,12 +139,15 @@ def _fingerprint_batch(codes0: np.ndarray, read_ids: np.ndarray,
     — the single source of truth run by the serial path, the thread
     workers, and the process workers alike, so no backend can drift.
     """
+    workspace = _scan_workspace()
     orientations = []
     for orientation in (0, 1):
         codes = codes0 if orientation == 0 else reverse_complement(codes0)
         vertices = (read_ids.astype(np.uint32) << np.uint32(1)) \
             | np.uint32(orientation)
-        prefix_keys, suffix_keys = scheme.key_matrices(codes)
+        # Workspace-backed key matrices: fully copied into the fresh record
+        # blocks below before the next orientation (or batch) reuses them.
+        prefix_keys, suffix_keys = scheme.key_matrices(codes, workspace)
         blocks = _record_blocks(prefix_keys, suffix_keys, vertices,
                                 prefix_cols, suffix_cols, dtype)
         orientations.append((codes.nbytes, blocks))
@@ -306,15 +323,12 @@ def run_map(ctx: RunContext, store: PackedReadStore,
                     for _ in range(2 * 2 * lanes):
                         ctx.gpu.charge_scan_kernel(n, read_length)
                     prefix_block, suffix_block = blocks
-                    appended = 0
-                    for j, length in enumerate(lengths):
-                        if only_lengths is not None and length not in only_lengths:
-                            continue
-                        partitions.append("P", length, prefix_block[j])
-                        partitions.append("S", length, suffix_block[j])
-                        tuples_written += 2 * n
-                        appended += 1
-                    ctx.gpu.charge_elementwise(2 * n * appended * dtype.itemsize)
+                    pairs = [(length, prefix_block[j], suffix_block[j])
+                             for j, length in enumerate(lengths)
+                             if only_lengths is None or length in only_lengths]
+                    partitions.append_pairs(pairs)
+                    tuples_written += 2 * n * len(pairs)
+                    ctx.gpu.charge_elementwise(2 * n * len(pairs) * dtype.itemsize)
     finally:
         # Prompt generator cleanup: the process path's finally drains the
         # in-flight window and unlinks every leftover shared-memory segment.

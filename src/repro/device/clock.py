@@ -48,6 +48,24 @@ class SimClock:
         with self._lock:
             self._by_category[category] += seconds
 
+    def charge_many(self, category: str, charges) -> None:
+        """Add a run of charges to ``category`` under one lock acquisition.
+
+        Bit-identical to calling :meth:`charge` once per element: the
+        accumulator gains each value in sequence (float addition is not
+        associative, so the elements are never pre-summed).
+        """
+        if category not in self._by_category:
+            raise ConfigError(f"unknown sim-clock category {category!r}")
+        for seconds in charges:
+            if seconds < 0:
+                raise ConfigError("cannot charge negative time")
+        with self._lock:
+            total = self._by_category[category]
+            for seconds in charges:
+                total += seconds
+            self._by_category[category] = total
+
     @property
     def total_seconds(self) -> float:
         """Total modeled seconds across all categories."""

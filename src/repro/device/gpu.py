@@ -23,21 +23,31 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigError, DeviceMemoryError
+from ..errors import ConfigError, DeviceMemoryError, SortContractError
 from . import costs, kernels
 from .clock import SimClock
-from .memory import Allocation, MemoryPool
+from .memory import Allocation, BufferPool, MemoryPool
 from .specs import DeviceSpec, get_device_spec
 
 
 class DeviceArray:
-    """A numpy array accounted against a device pool."""
+    """A numpy array accounted against a device pool.
 
-    __slots__ = ("array", "_allocation")
+    When the owning :class:`VirtualGPU` has a :class:`BufferPool`, the
+    backing numpy buffer returns to its free list on :meth:`free` — the
+    handle must not be reused afterwards (kernel entry points enforce this;
+    raw ``.array`` access after free is undefined).
+    """
 
-    def __init__(self, array: np.ndarray, allocation: Allocation):
+    __slots__ = ("array", "_allocation", "_raw", "_buffers")
+
+    def __init__(self, array: np.ndarray, allocation: Allocation, *,
+                 raw: np.ndarray | None = None,
+                 buffers: BufferPool | None = None):
         self.array = array
         self._allocation = allocation
+        self._raw = raw
+        self._buffers = buffers
 
     @property
     def nbytes(self) -> int:
@@ -51,7 +61,14 @@ class DeviceArray:
 
     def free(self) -> None:
         """Release device memory (idempotent). The handle must not be reused."""
+        if not self._allocation.live:
+            return
         self._allocation.free()
+        if self._buffers is not None:
+            raw = self._raw if self._raw is not None \
+                else self._buffers.adoptable(self.array)
+            self._raw = None
+            self._buffers.give(raw)
 
     def __enter__(self) -> "DeviceArray":
         return self
@@ -68,7 +85,8 @@ class VirtualGPU:
 
     def __init__(self, spec: DeviceSpec | str = "K40", *,
                  capacity_bytes: int | None = None,
-                 clock: SimClock | None = None):
+                 clock: SimClock | None = None,
+                 buffers: BufferPool | None = None):
         self.spec = get_device_spec(spec) if isinstance(spec, str) else spec
         self.clock = clock if clock is not None else SimClock()
         self.pool = MemoryPool(
@@ -76,30 +94,61 @@ class VirtualGPU:
             capacity_bytes if capacity_bytes is not None else self.spec.mem_bytes,
             DeviceMemoryError,
         )
+        # Free-list retention can never exceed what the capacity model lets
+        # live at once, so the device budget is a natural default cap.
+        self.buffers = buffers if buffers is not None \
+            else BufferPool(self.pool.capacity_bytes)
 
     # -- transfers ----------------------------------------------------------
 
-    def to_device(self, array: np.ndarray, *, label: str = "h2d") -> DeviceArray:
-        """Copy a host array to the device (allocates + charges PCIe time)."""
-        array = np.ascontiguousarray(array)
-        allocation = self.pool.alloc(array.nbytes, label=label)
-        self.clock.charge("h2d", costs.transfer_seconds(self.spec, array.nbytes))
-        return DeviceArray(array.copy(), allocation)
+    def to_device(self, array: np.ndarray, *, label: str = "h2d",
+                  consume: bool = False) -> DeviceArray:
+        """Copy a host array to the device (allocates + charges PCIe time).
 
-    def to_host(self, darray: DeviceArray) -> np.ndarray:
-        """Copy a device array back to the host (charges PCIe time)."""
+        With ``consume=True`` the caller cedes ownership: the host array
+        itself becomes the device storage (zero-copy) and is poisoned
+        read-only — the caller must not touch it again.
+        """
+        source = np.ascontiguousarray(array)
+        allocation = self.pool.alloc(source.nbytes, label=label)
+        self.clock.charge("h2d", costs.transfer_seconds(self.spec, source.nbytes))
+        if source is not array:
+            # ascontiguousarray already copied; a second copy would be waste.
+            return DeviceArray(source, allocation, buffers=self.buffers)
+        if consume:
+            if array.flags.writeable and array.flags.owndata:
+                array.setflags(write=False)
+            return DeviceArray(source, allocation, buffers=self.buffers)
+        device, raw = self.buffers.take(source.shape, source.dtype)
+        device[...] = source  # structured-dtype-safe copy
+        return DeviceArray(device, allocation, raw=raw, buffers=self.buffers)
+
+    def to_host(self, darray: DeviceArray, *,
+                out: np.ndarray | None = None) -> np.ndarray:
+        """Copy a device array back to the host (charges PCIe time).
+
+        ``out=`` supplies the destination buffer (shape and dtype must
+        match), sparing the allocation of a fresh host array.
+        """
         self._check_live(darray)
         self.clock.charge("d2h", costs.transfer_seconds(self.spec, darray.array.nbytes))
-        return darray.array.copy()
+        if out is None:
+            return darray.array.copy()
+        if out.shape != darray.array.shape or out.dtype != darray.array.dtype:
+            raise ConfigError("to_host out= buffer shape/dtype mismatch")
+        out[...] = darray.array
+        return out
 
     def empty(self, shape, dtype, *, label: str = "empty") -> DeviceArray:
         """Allocate an uninitialized device array (no transfer cost)."""
-        array = np.empty(shape, dtype=dtype)
-        return DeviceArray(array, self.pool.alloc(array.nbytes, label=label))
+        array, raw = self.buffers.take(shape, dtype)
+        return DeviceArray(array, self.pool.alloc(array.nbytes, label=label),
+                           raw=raw, buffers=self.buffers)
 
     def _adopt(self, array: np.ndarray, *, label: str) -> DeviceArray:
         """Wrap a kernel-produced array as device-resident (alloc only)."""
-        return DeviceArray(array, self.pool.alloc(array.nbytes, label=label))
+        return DeviceArray(array, self.pool.alloc(array.nbytes, label=label),
+                           buffers=self.buffers)
 
     @staticmethod
     def _check_live(*darrays: DeviceArray) -> None:
@@ -186,31 +235,69 @@ class VirtualGPU:
 
     def sort_records_device(self, records: DeviceArray, *, key_field: str = "key"
                             ) -> DeviceArray:
-        """Radix-sort packed KV records by their key field."""
+        """Radix-sort packed KV records by their key field.
+
+        With pooling disabled this runs the legacy formulation (fancy
+        indexing into a fresh array) — the benchmark's before-side.
+        """
         self._check_live(records)
         keys = self._key_column(records, key_field)
-        with self.pool.alloc(records.array.nbytes, label="sort-scratch"):
-            order = np.argsort(keys, kind="stable")
-            sorted_records = records.array[order]
+        if self.buffers.enabled:
+            out, raw = self.buffers.take(records.array.shape,
+                                         records.array.dtype)
+            with self.pool.alloc(records.array.nbytes, label="sort-scratch"):
+                order = np.argsort(keys, kind="stable")
+                np.take(records.array, order, axis=0, out=out)
+        else:
+            raw = None
+            with self.pool.alloc(records.array.nbytes, label="sort-scratch"):
+                order = np.argsort(keys, kind="stable")
+                out = records.array[order]
         self.clock.charge("kernel", costs.sort_pairs_seconds(
             self.spec, len(records), keys.dtype.itemsize,
             records.array.dtype.itemsize - keys.dtype.itemsize))
-        return self._adopt(sorted_records, label="sort-out")
+        return DeviceArray(
+            out, self.pool.alloc(out.nbytes, label="sort-out"),
+            raw=raw, buffers=self.buffers)
 
     def merge_records_device(self, run_a: DeviceArray, run_b: DeviceArray, *,
                              key_field: str = "key") -> DeviceArray:
-        """Merge two sorted packed-record runs into one sorted run."""
+        """Merge two sorted packed-record runs into one sorted run.
+
+        The searchsorted rank trick of :func:`kernels.merge_sorted_records`,
+        scattering whole records straight into a pooled output — the
+        separate merged-key column that formulation also produces would be
+        discarded here, so it is never built.
+        """
         self._check_live(run_a, run_b)
         keys_a = self._key_column(run_a, key_field)
         keys_b = self._key_column(run_b, key_field)
         kernels.require_sorted(keys_a, context="merge run A")
         kernels.require_sorted(keys_b, context="merge run B")
-        _, (merged,) = kernels.merge_sorted_records(
-            keys_a, (run_a.array,), keys_b, (run_b.array,))
+        if run_a.array.dtype != run_b.array.dtype:
+            raise SortContractError("cannot merge runs with different record dtypes")
+        n_a, n_b = len(run_a), len(run_b)
+        if not self.buffers.enabled:
+            # Legacy formulation: builds (and discards) a merged key column.
+            _, (merged,) = kernels.merge_sorted_records(
+                keys_a, (run_a.array,), keys_b, (run_b.array,))
+            self.clock.charge("kernel", costs.merge_pairs_seconds(
+                self.spec, n_a + n_b, keys_a.dtype.itemsize,
+                run_a.array.dtype.itemsize - keys_a.dtype.itemsize))
+            return self._adopt(merged, label="merge-out")
+        out, raw = self.buffers.take((n_a + n_b,), run_a.array.dtype)
+        pos_a = np.arange(n_a, dtype=np.int64) + np.searchsorted(
+            keys_b, keys_a, side="left")
+        pos_b = np.arange(n_b, dtype=np.int64) + np.searchsorted(
+            keys_a, keys_b, side="right")
+        out[pos_a] = run_a.array
+        out[pos_b] = run_b.array
         self.clock.charge("kernel", costs.merge_pairs_seconds(
-            self.spec, len(run_a) + len(run_b), keys_a.dtype.itemsize,
+            self.spec, n_a + n_b, keys_a.dtype.itemsize,
             run_a.array.dtype.itemsize - keys_a.dtype.itemsize))
-        return self._adopt(merged, label="merge-out")
+        return DeviceArray(
+            out, self.pool.alloc(out.nbytes, label="merge-out"),
+            raw=raw, buffers=self.buffers)
 
     def merge_records_device_k(self, runs: Sequence[DeviceArray], *,
                                key_field: str = "key") -> DeviceArray:
@@ -219,6 +306,9 @@ class VirtualGPU:
         One kernel replaces a ``⌈log₂ k⌉``-deep pairwise tournament; the
         clock is charged for that tournament depth, since the gathered
         formulation still performs ``log k`` comparisons per record.
+        Record payloads are gathered in one pass into a pooled output (the
+        merged key column a generic formulation would emit is discarded by
+        every caller, so only the argsort stencil is built from keys).
         """
         runs = list(runs)
         if not runs:
@@ -228,16 +318,40 @@ class VirtualGPU:
         for index, keys in enumerate(key_columns):
             kernels.require_sorted(keys, context=f"merge run {index}")
         if len(runs) == 1:
-            return self._adopt(runs[0].array.copy(), label="merge-out")
-        _, (merged,) = kernels.merge_sorted_records_k(
-            key_columns, tuple((run.array,) for run in runs))
+            out, raw = self.buffers.take(
+                runs[0].array.shape, runs[0].array.dtype)
+            out[...] = runs[0].array
+            return DeviceArray(
+                out, self.pool.alloc(out.nbytes, label="merge-out"),
+                raw=raw, buffers=self.buffers)
+        record_dtype = runs[0].array.dtype
+        if any(run.array.dtype != record_dtype for run in runs[1:]):
+            raise SortContractError("cannot merge runs with different record dtypes")
         total = sum(len(run) for run in runs)
+        if not self.buffers.enabled:
+            # Legacy formulation: builds (and discards) a merged key column.
+            _, (merged,) = kernels.merge_sorted_records_k(
+                key_columns, tuple((run.array,) for run in runs))
+            key_nbytes = key_columns[0].dtype.itemsize
+            depth = max(1, math.ceil(math.log2(len(runs))))
+            self.clock.charge("kernel", depth * costs.merge_pairs_seconds(
+                self.spec, total, key_nbytes,
+                record_dtype.itemsize - key_nbytes))
+            return self._adopt(merged, label="merge-out")
+        order = np.argsort(np.concatenate(key_columns), kind="stable")
+        gathered, gathered_raw = self.buffers.take((total,), record_dtype)
+        np.concatenate([run.array for run in runs], out=gathered)
+        out, raw = self.buffers.take((total,), record_dtype)
+        np.take(gathered, order, axis=0, out=out)
+        self.buffers.give(gathered_raw)
         key_nbytes = key_columns[0].dtype.itemsize
         depth = max(1, math.ceil(math.log2(len(runs))))
         self.clock.charge("kernel", depth * costs.merge_pairs_seconds(
             self.spec, total, key_nbytes,
-            runs[0].array.dtype.itemsize - key_nbytes))
-        return self._adopt(merged, label="merge-out")
+            record_dtype.itemsize - key_nbytes))
+        return DeviceArray(
+            out, self.pool.alloc(out.nbytes, label="merge-out"),
+            raw=raw, buffers=self.buffers)
 
     def bounds_records(self, haystack: DeviceArray, queries: DeviceArray, *,
                        key_field: str = "key") -> tuple[DeviceArray, DeviceArray]:

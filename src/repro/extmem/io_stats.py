@@ -29,11 +29,21 @@ class IOAccountant:
         self._read_ops = 0
         self._write_ops = 0
         self._seeks = 0
+        # Cached for the seekless fast path below.
+        self._read_bw = self.disk.read_bandwidth
+        self._write_bw = self.disk.write_bandwidth
         # Read-ahead producers and write-behind drains account from
         # background threads concurrently with the main thread.
         self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
+    #
+    # These run once per logical stream op — hundreds of thousands of times
+    # per phase — so the seekless common case inlines the cost formula
+    # (``nbytes / bandwidth`` is bit-identical to what
+    # :func:`repro.device.costs.disk_read_seconds` computes when
+    # ``seeks == 0``: adding ``0 * seek_seconds = +0.0`` never changes a
+    # non-negative float).
 
     def add_read(self, nbytes: int, *, seeks: int = 0) -> None:
         """Record a sequential read of ``nbytes`` (plus optional seeks)."""
@@ -42,7 +52,11 @@ class IOAccountant:
             self._read_ops += 1
             self._seeks += seeks
         if self.clock is not None:
-            self.clock.charge("disk_read", costs.disk_read_seconds(self.disk, nbytes, seeks=seeks))
+            if seeks:
+                self.clock.charge("disk_read", costs.disk_read_seconds(
+                    self.disk, nbytes, seeks=seeks))
+            elif nbytes > 0:
+                self.clock.charge("disk_read", nbytes / self._read_bw)
 
     def add_write(self, nbytes: int, *, seeks: int = 0) -> None:
         """Record a sequential write of ``nbytes`` (plus optional seeks)."""
@@ -51,7 +65,29 @@ class IOAccountant:
             self._write_ops += 1
             self._seeks += seeks
         if self.clock is not None:
-            self.clock.charge("disk_write", costs.disk_write_seconds(self.disk, nbytes, seeks=seeks))
+            if seeks:
+                self.clock.charge("disk_write", costs.disk_write_seconds(
+                    self.disk, nbytes, seeks=seeks))
+            elif nbytes > 0:
+                self.clock.charge("disk_write", nbytes / self._write_bw)
+
+    def add_write_run(self, sizes) -> None:
+        """Record consecutive seekless writes with grouped locking.
+
+        ``sizes`` is a sequence of byte counts, one per logical write.
+        Totals and simulated charges are bit-identical to calling
+        :meth:`add_write` once per element (same values, same accumulation
+        order, zero-byte charges skipped alike); only the per-call lock
+        traffic is amortized. The map phase's partition fan-out uses this —
+        each batch lands ~150 tiny appends.
+        """
+        with self._lock:
+            self._write_bytes += sum(sizes)
+            self._write_ops += len(sizes)
+        if self.clock is not None:
+            bw = self._write_bw
+            self.clock.charge_many(
+                "disk_write", [n / bw for n in sizes if n > 0])
 
     # -- inspection ------------------------------------------------------------
 

@@ -74,10 +74,88 @@ def _tournament_fold(parts: list[np.ndarray], merge_fn: MergeFn) -> np.ndarray:
     return parts[0]
 
 
+class _Window:
+    """One source's sliding merge window over reusable ping-pong buffers.
+
+    The seed formulation re-allocated every refill
+    (``np.concatenate([buf, extra])``); this one appends into a pair of
+    persistent window-capacity buffers, so a merge round's working set is
+    allocated once. Two aliasing rules keep it byte-identical under the
+    write-behind sink, which holds emitted arrays until a background
+    thread writes them:
+
+    * a chunk fully replacing an empty window is *adopted* as-is
+      (zero-copy, like the seed) — source chunks are never written to;
+    * :meth:`emit_all` hands a persistent buffer over to the sink and
+      takes a fresh one, because the window refills long before the sink
+      is done with the emitted records.
+    """
+
+    __slots__ = ("live", "start", "length", "_buf", "_spare", "_capacity",
+                 "_reuse")
+
+    def __init__(self, capacity: int, empty: np.ndarray, reuse: bool = True):
+        self._capacity = capacity
+        self._reuse = reuse
+        self.live = empty
+        self.start = 0
+        self.length = 0
+        self._buf: np.ndarray | None = None
+        self._spare: np.ndarray | None = None
+
+    def view(self) -> np.ndarray:
+        """The current window records."""
+        return self.live[self.start:self.start + self.length]
+
+    def absorb(self, extra: np.ndarray) -> None:
+        """Append ``extra`` after the remaining records, reusing buffers."""
+        n = extra.shape[0]
+        if self.length == 0:
+            self.live = extra  # adopt the fresh chunk, zero-copy
+            self.start = 0
+            self.length = n
+            return
+        if not self._reuse:
+            # Legacy formulation: a fresh concatenation per refill.
+            self.live = np.concatenate([self.view(), extra])
+            self.start = 0
+            self.length += n
+            return
+        if self._buf is None:
+            self._buf = np.empty(self._capacity, dtype=extra.dtype)
+            self._spare = np.empty(self._capacity, dtype=extra.dtype)
+        if self.live is self._buf and self.start == 0:
+            self._buf[self.length:self.length + n] = extra
+        else:
+            if self.live is self._buf:
+                self._buf, self._spare = self._spare, self._buf
+            self._buf[:self.length] = self.view()
+            self._buf[self.length:self.length + n] = extra
+            self.live = self._buf
+            self.start = 0
+        self.length += n
+
+    def consume(self, rank: int) -> None:
+        """Drop ``rank`` records off the front (they were merged out)."""
+        self.start += rank
+        self.length -= rank
+
+    def emit_all(self) -> np.ndarray:
+        """The whole window, detached so a sink may hold it indefinitely."""
+        out = self.view()
+        if self.live is self._buf:
+            self._buf = np.empty(self._capacity, dtype=out.dtype)
+        self.live = out[:0]
+        self.start = 0
+        self.length = 0
+        return out
+
+
 def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
                     window_records: int, merge_fn: MergeFn | None = None,
                     merge_fn_k: MergeKFn | None = None,
-                    key_field: str = KEY_FIELD, tracer=NULL_TRACER) -> int:
+                    key_field: str = KEY_FIELD, tracer=NULL_TRACER,
+                    reuse_windows: bool = True) -> int:
     """Fanout-k Algorithm 1; returns the number of records emitted.
 
     ``window_records`` is ``M/k`` — the per-run window size; the merge
@@ -88,6 +166,8 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
     ``tracer`` records a span per equalized-window merge (and an instant
     per pass-through window); only the level-1 disk merge passes a real
     one — the inner level-2 merges would flood the event log.
+    ``reuse_windows=False`` restores the seed refill behaviour (a fresh
+    concatenation per refill) instead of the persistent window buffers.
     """
     if window_records < 1:
         raise ConfigError("window_records must be >= 1")
@@ -104,7 +184,9 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
 
     def _merge_parts(parts: list[np.ndarray]) -> np.ndarray:
         if len(parts) == 1:
-            return parts[0]
+            # The lone equalized prefix is a view into a reusable window
+            # buffer; detach it so a sink may hold it past the next refill.
+            return parts[0].copy() if reuse_windows else parts[0]
         if merge_fn_k is not None:
             return merge_fn_k(parts)
         return _tournament_fold(parts, merge_fn)
@@ -112,41 +194,42 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
     if not sources:
         return 0
     empty = sources[0].read(0)
-    bufs: list[np.ndarray] = [empty] * len(sources)
+    windows = [_Window(window_records, empty, reuse_windows)
+               for _ in sources]
     active = list(range(len(sources)))
     while True:
         # Refill every window; drop sources exhausted with an empty buffer.
         for i in list(active):
-            if bufs[i].shape[0] < window_records:
-                extra = sources[i].read(window_records - bufs[i].shape[0])
+            win = windows[i]
+            if win.length < window_records:
+                extra = sources[i].read(window_records - win.length)
                 if extra.shape[0]:
                     # Sortedness contract check: a corrupted run (e.g. a
                     # bit-flipped key) must fail loudly here, not merge into
                     # silently mis-sorted output downstream.
                     keys = extra[key_field]
                     if np.any(keys[1:] < keys[:-1]) or (
-                            bufs[i].shape[0]
-                            and bufs[i][key_field][-1] > keys[0]):
+                            win.length
+                            and win.view()[key_field][-1] > keys[0]):
                         raise SortContractError(
                             f"merge input {i} violates sortedness on "
                             f"{key_field!r}")
-                    bufs[i] = (extra if bufs[i].shape[0] == 0
-                               else np.concatenate([bufs[i], extra]))
-            if bufs[i].shape[0] == 0:
+                    win.absorb(extra)
+            if win.length == 0:
                 active.remove(i)
         if not active:
             return emitted
         if len(active) == 1:
             # Line 19: every other run is exhausted; stream the survivor out.
             survivor = active[0]
-            _emit(bufs[survivor])
+            _emit(windows[survivor].emit_all())
             while True:
                 chunk = sources[survivor].read(window_records)
                 if chunk.shape[0] == 0:
                     return emitted
                 _emit(chunk)
-        heads = {i: bufs[i][key_field][0] for i in active}
-        tails = {i: bufs[i][key_field][-1] for i in active}
+        heads = {i: windows[i].view()[key_field][0] for i in active}
+        tails = {i: windows[i].view()[key_field][-1] for i in active}
         # Pass-through fast path: a window wholly preceding all other heads.
         passthrough = next(
             (i for i in active
@@ -154,20 +237,20 @@ def merge_streams_k(sources: Sequence[ChunkSource], emit: EmitFn, *,
         if passthrough is not None:
             if tracer.enabled:
                 tracer.instant("merge-passthrough", track="merge",
-                               records=int(bufs[passthrough].shape[0]))
-            _emit(bufs[passthrough])
-            bufs[passthrough] = empty
+                               records=int(windows[passthrough].length))
+            _emit(windows[passthrough].emit_all())
             continue
         # Equalize every window at the smallest tail key, then merge: any
         # record <= that boundary precedes every unread record of every run.
         boundary = min(tails.values())
         parts: list[np.ndarray] = []
         for i in active:
-            rank = int(np.searchsorted(bufs[i][key_field], boundary,
+            win = windows[i]
+            rank = int(np.searchsorted(win.view()[key_field], boundary,
                                        side="right"))
             if rank:
-                parts.append(bufs[i][:rank])
-                bufs[i] = bufs[i][rank:]
+                parts.append(win.view()[:rank])
+                win.consume(rank)
         # det=False: under write-behind the window's simulated midpoint
         # depends on how far the background writer has drained.
         if tracer.enabled:
@@ -195,7 +278,8 @@ def merge_streams(source_a: ChunkSource, source_b: ChunkSource, emit: EmitFn, *,
 def merge_in_memory_k(runs: Sequence[np.ndarray], *, window_records: int,
                       merge_fn: MergeFn | None = None,
                       merge_fn_k: MergeKFn | None = None,
-                      key_field: str = KEY_FIELD) -> np.ndarray:
+                      key_field: str = KEY_FIELD,
+                      reuse_windows: bool = True) -> np.ndarray:
     """Fanout-k Algorithm 1 over in-memory runs; returns the merged run.
 
     This is the *second level* of the hybrid sort: host-resident blocks are
@@ -207,7 +291,8 @@ def merge_in_memory_k(runs: Sequence[np.ndarray], *, window_records: int,
     chunks: list[np.ndarray] = []
     merge_streams_k([ArraySource(run) for run in runs], chunks.append,
                     window_records=window_records, merge_fn=merge_fn,
-                    merge_fn_k=merge_fn_k, key_field=key_field)
+                    merge_fn_k=merge_fn_k, key_field=key_field,
+                    reuse_windows=reuse_windows)
     if not chunks:
         return runs[0][:0].copy()
     return np.concatenate(chunks)
@@ -225,7 +310,8 @@ def merge_in_memory(records_a: np.ndarray, records_b: np.ndarray, *,
 def merge_runs_k(readers: Sequence[ChunkSource], writer, *,
                  window_records: int, merge_fn: MergeFn | None = None,
                  merge_fn_k: MergeKFn | None = None,
-                 key_field: str = KEY_FIELD, tracer=NULL_TRACER) -> int:
+                 key_field: str = KEY_FIELD, tracer=NULL_TRACER,
+                 reuse_windows: bool = True) -> int:
     """Fanout-k Algorithm 1 over on-disk runs; appends to an open RunWriter.
 
     This is the *first level*: disk runs merged through host memory.
@@ -233,7 +319,7 @@ def merge_runs_k(readers: Sequence[ChunkSource], writer, *,
     return merge_streams_k(readers, writer.append,
                            window_records=window_records, merge_fn=merge_fn,
                            merge_fn_k=merge_fn_k, key_field=key_field,
-                           tracer=tracer)
+                           tracer=tracer, reuse_windows=reuse_windows)
 
 
 def merge_runs(reader_a, reader_b, writer, *, window_records: int,

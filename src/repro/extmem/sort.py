@@ -37,7 +37,7 @@ from pathlib import Path
 import numpy as np
 
 from ..device.gpu import VirtualGPU
-from ..device.memory import MemoryPool
+from ..device.memory import BufferPool, MemoryPool
 from ..errors import ConfigError, DeviceMemoryError
 from ..faults import plan as faults
 from ..parallel import PipelineExecutor, shm
@@ -138,6 +138,11 @@ class ExternalSorter:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dtype = np.dtype(dtype)
         self.key_field = key_field
+        #: Buffer-reuse fast paths (in-place chunk sorts, consuming
+        #: transfers, persistent merge windows) follow the device buffer
+        #: pool's switch, so ``buffer_pool=False`` restores the seed
+        #: allocation discipline end to end.
+        self._reuse = gpu.buffers.enabled
         self.m_h = host_block_pairs
         self.m_d = min(device_block_pairs, host_block_pairs)
         self.fanout = merge_fanout or derive_fanout(self.m_h, self.m_d)
@@ -159,13 +164,22 @@ class ExternalSorter:
         chunk_d = self.gpu.to_device(records, label="sort-chunk")
         sorted_d = self.gpu.sort_records_device(chunk_d, key_field=self.key_field)
         chunk_d.free()
-        out = self.gpu.to_host(sorted_d)
+        if self._reuse and records.flags.writeable:
+            # Sort the caller's chunk in place: run-formation chunks are
+            # private (freshly read, or slices of one fresh block), so
+            # writing back spares a same-size host allocation per chunk.
+            out = self.gpu.to_host(sorted_d, out=records)
+        else:
+            out = self.gpu.to_host(sorted_d)
         sorted_d.free()
         return out
 
     def _device_merge(self, run_a: np.ndarray, run_b: np.ndarray) -> np.ndarray:
-        a_d = self.gpu.to_device(run_a, label="merge-a")
-        b_d = self.gpu.to_device(run_b, label="merge-b")
+        # consume=: merge inputs are equalized window prefixes (or
+        # tournament intermediates) that are never read again, so the
+        # device borrows them zero-copy instead of copying them in.
+        a_d = self.gpu.to_device(run_a, label="merge-a", consume=self._reuse)
+        b_d = self.gpu.to_device(run_b, label="merge-b", consume=self._reuse)
         merged_d = self.gpu.merge_records_device(a_d, b_d, key_field=self.key_field)
         a_d.free()
         b_d.free()
@@ -175,7 +189,8 @@ class ExternalSorter:
 
     def _device_merge_k(self, parts: list[np.ndarray]) -> np.ndarray:
         """Gathered k-way device merge of window prefixes (all fit at once)."""
-        handles = [self.gpu.to_device(part, label="merge-way") for part in parts]
+        handles = [self.gpu.to_device(part, label="merge-way",
+                                      consume=self._reuse) for part in parts]
         merged_d = self.gpu.merge_records_device_k(handles, key_field=self.key_field)
         for handle in handles:
             handle.free()
@@ -223,7 +238,7 @@ class ExternalSorter:
                 next_runs.append(merge_in_memory_k(
                     group, window_records=self.device_kway_window,
                     merge_fn=self._device_merge, merge_fn_k=self.merge_windows,
-                    key_field=self.key_field))
+                    key_field=self.key_field, reuse_windows=self._reuse))
             runs = next_runs
         return runs[0]
 
@@ -233,7 +248,8 @@ class ExternalSorter:
         return merge_in_memory_k([records_a, records_b],
                                  window_records=self.device_merge_window,
                                  merge_fn=self._device_merge,
-                                 key_field=self.key_field)
+                                 key_field=self.key_field,
+                                 reuse_windows=self._reuse)
 
     # -- level 1: disk-backed run sorting ---------------------------------------
 
@@ -297,7 +313,8 @@ class ExternalSorter:
                        "m_h": self.m_h, "m_d": self.m_d,
                        "fanout": self.fanout,
                        "device_name": self.gpu.spec.name,
-                       "capacity_bytes": self.gpu.pool.capacity_bytes}
+                       "capacity_bytes": self.gpu.pool.capacity_bytes,
+                       "buffer_pool": self._reuse}
 
         try:
             for result in executor.map_tasks(_SORT_TASK, payloads()):
@@ -434,7 +451,8 @@ class ExternalSorter:
                                             merge_fn=self.merge_blocks_in_host,
                                             merge_fn_k=self.merge_windows,
                                             key_field=self.key_field,
-                                            tracer=self.tracer)
+                                            tracer=self.tracer,
+                                            reuse_windows=self._reuse)
                     for path in group:
                         path.unlink()
                     next_paths.append(merged_path)
@@ -465,7 +483,9 @@ def _sort_block_task(payload: dict) -> dict:
     log: list = []
     gpu = VirtualGPU(payload["device_name"],
                      capacity_bytes=payload["capacity_bytes"],
-                     clock=RecordingClock(log))
+                     clock=RecordingClock(log),
+                     buffers=BufferPool(payload["capacity_bytes"],
+                                        enabled=payload.get("buffer_pool", True)))
     gpu.pool = RecordingPool("device", payload["capacity_bytes"],
                              DeviceMemoryError, log)
     sorter = ExternalSorter(gpu=gpu, host_pool=None, accountant=None,

@@ -10,6 +10,7 @@ rule — and violations raise
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +21,23 @@ from .io_stats import IOAccountant
 
 #: Paths currently open, mapped to their mode ("r"/"w"); enforces exclusivity.
 _OPEN_PATHS: dict[Path, str] = {}
+
+#: Appends smaller than this coalesce in a writer-side tail buffer before
+#: reaching the OS (the map phase appends ~tiny per-partition blocks at a
+#: very high rate). Invisible to accounting: bytes, ops and simulated
+#: charges are recorded per logical append either way.
+_COALESCE_BYTES = 1 << 18
+
+
+def _legacy_io() -> bool:
+    """Route streams through the seed I/O discipline.
+
+    ``REPRO_LEGACY_IO=1`` restores the seed formulation — one OS write per
+    logical append and a bytes-object round trip per read — the
+    before-side of the hot-path benchmark. Checked once per stream, so a
+    toggle mid-stream cannot desynchronize a writer's tail buffer.
+    """
+    return os.environ.get("REPRO_LEGACY_IO", "") == "1"
 
 
 def _register(path: Path, mode: str) -> None:
@@ -59,29 +77,55 @@ class RunWriter:
         # through the OS write-behind cache, which amortizes head movement
         # (the paper's map phase streams 74 partition files concurrently).
         self._pending_seek = 0
+        self._tail = bytearray()
+        self._coalesce = not _legacy_io()
 
     @property
     def records_written(self) -> int:
         """Records appended so far."""
         return self._records_written
 
-    def append(self, records: np.ndarray) -> None:
-        """Append a record array (must match the run dtype)."""
+    def append(self, records: np.ndarray, *, meter: bool = True) -> int:
+        """Append a record array (must match the run dtype); returns nbytes.
+
+        ``meter=False`` skips the per-call accounting so a caller landing a
+        run of appends across several writers can meter them as a group
+        (:meth:`repro.extmem.io_stats.IOAccountant.add_write_run`) — the
+        OS-visible writes and the metered totals stay identical either way.
+        """
         if self._handle.closed:
             raise StreamProtocolError(f"{self.path}: append after close")
         if records.dtype != self.dtype:
             raise StreamProtocolError(
                 f"{self.path}: dtype mismatch ({records.dtype} != {self.dtype})")
         data = np.ascontiguousarray(records)
-        faults.deliver_write(self.path, data.tobytes(), self._handle)
-        if self._accountant is not None:
+        if faults.active() or not self._coalesce:
+            # Fault sites must observe one OS-visible write per append, in
+            # order, so coalescing pauses while a plan is armed.
+            self._drain_tail()
+            faults.deliver_write(self.path, data.tobytes(), self._handle)
+        elif data.nbytes >= _COALESCE_BYTES:
+            self._drain_tail()
+            self._handle.write(data)  # buffer-protocol export, no bytes copy
+        else:
+            self._tail += data.tobytes()
+            if len(self._tail) >= _COALESCE_BYTES:
+                self._drain_tail()
+        if meter and self._accountant is not None:
             self._accountant.add_write(data.nbytes, seeks=self._pending_seek)
         self._pending_seek = 0
         self._records_written += records.shape[0]
+        return data.nbytes
+
+    def _drain_tail(self) -> None:
+        if self._tail:
+            self._handle.write(self._tail)
+            self._tail.clear()
 
     def close(self) -> None:
         """Finish the run; the path becomes available for reading."""
         if not self._handle.closed:
+            self._drain_tail()
             self._handle.close()
             _unregister(self.path)
 
@@ -118,6 +162,7 @@ class RunReader:
         self._total = size // self.dtype.itemsize
         self._consumed = 0
         self._pending_seek = 1
+        self._fromfile = not _legacy_io()
 
     @property
     def total_records(self) -> int:
@@ -141,11 +186,17 @@ class RunReader:
         n = min(n, self.remaining)
         if n <= 0:
             return np.empty(0, dtype=self.dtype)
-        raw = faults.filter_read(self.path, self._handle.read(n * self.dtype.itemsize))
+        if faults.active() or not self._fromfile:
+            raw = faults.filter_read(
+                self.path, self._handle.read(n * self.dtype.itemsize))
+            records = np.frombuffer(raw, dtype=self.dtype).copy()
+        else:
+            # No plan armed: read straight into the fresh array, skipping
+            # the intermediate bytes object filter_read would inspect.
+            records = np.fromfile(self._handle, dtype=self.dtype, count=n)
         if self._accountant is not None:
-            self._accountant.add_read(len(raw), seeks=self._pending_seek)
+            self._accountant.add_read(records.nbytes, seeks=self._pending_seek)
         self._pending_seek = 0
-        records = np.frombuffer(raw, dtype=self.dtype).copy()
         self._consumed += records.shape[0]
         return records
 

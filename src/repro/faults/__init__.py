@@ -19,7 +19,7 @@ from __future__ import annotations
 from .plan import (BITFLIP, CRASH, ENOSPC, FSYNC_LOSS, KINDS, LEDGER, MESSAGE,
                    MSG_DELAY, MSG_DROP, NODE, NODE_CRASH, PHASE, READ, RENAME,
                    SITES, TORN, WRITE, Fault, FaultEvent, FaultPlan,
-                   TracePoint, active_plan, barrier, clear_crash,
+                   TracePoint, active, active_plan, barrier, clear_crash,
                    crash_pending, crashed_scopes, deliver_message,
                    deliver_write, filter_read, inject, ledger_write, node_op,
                    note_phase, scoped)
@@ -30,7 +30,7 @@ __all__ = [
     "LEDGER", "MESSAGE", "MSG_DELAY", "MSG_DROP", "NODE", "NODE_CRASH",
     "PHASE", "READ", "RENAME", "SITES", "TORN", "WRITE",
     "Fault", "FaultEvent", "FaultPlan", "RetryPolicy", "TracePoint",
-    "active_plan", "barrier", "clear_crash", "crash_pending",
+    "active", "active_plan", "barrier", "clear_crash", "crash_pending",
     "crashed_scopes", "deliver_message", "deliver_write", "filter_read",
     "inject", "ledger_write", "node_op", "note_phase", "scoped",
     "CrashLoop", "CrashLoopReport", "CrashOutcome",

@@ -467,6 +467,15 @@ def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
         _ACTIVE = None
 
 
+def active() -> bool:
+    """Whether a fault plan is currently armed.
+
+    Hot-path I/O consults this to take zero-copy fast paths that skip the
+    bytes round trips fault delivery and filtering need.
+    """
+    return _ACTIVE is not None
+
+
 def crash_pending() -> bool:
     """Whether an injected crash is unwinding the stack right now.
 
@@ -526,11 +535,19 @@ def deliver_message(src_scope: str, dst_scope: str, handler: str) -> float:
     return _ACTIVE.deliver_message(src_scope, dst_scope, handler)
 
 
-def deliver_write(path: Path, payload: bytes, handle: BinaryIO) -> None:
-    """Write ``payload`` to ``handle``, subject to the active plan."""
+def deliver_write(path: Path, payload, handle: BinaryIO) -> None:
+    """Write ``payload`` to ``handle``, subject to the active plan.
+
+    ``payload`` may be ``bytes`` or any buffer-protocol object (e.g. a
+    contiguous record array). With no plan active it is handed straight to
+    the OS; the bytes materialization — which fault bookkeeping needs for
+    slicing and flipping — is only paid when a plan is armed.
+    """
     if _ACTIVE is None:
         handle.write(payload)
     else:
+        if not isinstance(payload, (bytes, bytearray)):
+            payload = payload.tobytes()
         _ACTIVE.deliver_write(path, payload, handle)
 
 

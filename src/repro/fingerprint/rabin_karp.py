@@ -61,7 +61,24 @@ class HashSpec:
         return cached
 
     def fingerprint(self, codes: np.ndarray) -> int:
-        """Fingerprint of a whole 1-D code array (Horner's rule)."""
+        """Fingerprint of a whole 1-D code array.
+
+        Vectorized as ``Σ codes[i]·σ^(k-1-i) mod q``: every product of two
+        residues stays below ``2^62``, and a cumulative sum of residues
+        cannot reach ``2^64`` for any realistic read length, so the whole
+        evaluation fits ``uint64`` exactly (see
+        :func:`fingerprint_scalar`, the Horner-rule loop it must match).
+        """
+        codes = np.asarray(codes, dtype=np.uint64) % np.uint64(self.prime)
+        length = codes.shape[0]
+        if length == 0:
+            return 0
+        places = self.place_values(length)
+        terms = (codes * places[::-1]) % np.uint64(self.prime)
+        return int(terms.sum(dtype=np.uint64) % np.uint64(self.prime))
+
+    def fingerprint_scalar(self, codes: np.ndarray) -> int:
+        """Horner's-rule reference for :meth:`fingerprint` (tests only)."""
         value = 0
         for code in np.asarray(codes, dtype=np.uint64):
             value = (value * self.radix + int(code)) % self.prime
@@ -69,7 +86,30 @@ class HashSpec:
 
 
 def naive_prefix_fingerprints(codes: np.ndarray, spec: HashSpec) -> np.ndarray:
-    """``out[i] = f(codes[:i+1])`` by direct Horner evaluation."""
+    """``out[i] = f(codes[:i+1])``, vectorized.
+
+    ``f(codes[:i+1]) = σ^i · Σ_{j≤i} codes[j]·σ^(-j) mod q``: one modular
+    cumulative sum against inverse place values, then a rescale by the
+    forward place values. Must match
+    :func:`naive_prefix_fingerprints_scalar` exactly.
+    """
+    q = np.uint64(spec.prime)
+    codes = np.asarray(codes, dtype=np.uint64) % q
+    length = codes.shape[0]
+    if length == 0:
+        return codes.copy()
+    places = spec.place_values(length)
+    # σ^(-j) = σ^(L-1-j) · σ^(-(L-1)): one scalar modular inverse turns the
+    # reversed forward places into the inverse places.
+    inv_top = np.uint64(pow(spec.radix, -(length - 1), spec.prime))
+    inv_places = (places[::-1] * inv_top) % q
+    sums = np.cumsum((codes * inv_places) % q, dtype=np.uint64) % q
+    return (sums * places) % q
+
+
+def naive_prefix_fingerprints_scalar(codes: np.ndarray,
+                                     spec: HashSpec) -> np.ndarray:
+    """Horner-evaluation reference for :func:`naive_prefix_fingerprints`."""
     codes = np.asarray(codes, dtype=np.uint64)
     out = np.empty(codes.shape[0], dtype=np.uint64)
     value = 0
@@ -80,7 +120,24 @@ def naive_prefix_fingerprints(codes: np.ndarray, spec: HashSpec) -> np.ndarray:
 
 
 def naive_suffix_fingerprints(codes: np.ndarray, spec: HashSpec) -> np.ndarray:
-    """``out[i] = f(codes[i:])`` by direct evaluation of every suffix."""
+    """``out[i] = f(codes[i:])``, vectorized.
+
+    ``f(codes[i:]) = Σ_{j≥i} codes[j]·σ^(L-1-j) mod q`` — a reversed
+    modular cumulative sum of the fixed-place products. Must match
+    :func:`naive_suffix_fingerprints_scalar` exactly.
+    """
+    q = np.uint64(spec.prime)
+    codes = np.asarray(codes, dtype=np.uint64) % q
+    length = codes.shape[0]
+    if length == 0:
+        return codes.copy()
+    terms = (codes * spec.place_values(length)[::-1]) % q
+    return np.cumsum(terms[::-1], dtype=np.uint64)[::-1] % q
+
+
+def naive_suffix_fingerprints_scalar(codes: np.ndarray,
+                                     spec: HashSpec) -> np.ndarray:
+    """Per-suffix-evaluation reference for :func:`naive_suffix_fingerprints`."""
     codes = np.asarray(codes, dtype=np.uint64)
     length = codes.shape[0]
     out = np.empty(length, dtype=np.uint64)

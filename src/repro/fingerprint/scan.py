@@ -13,9 +13,24 @@ Here a *row of the batch matrix* plays the role of the thread block: each
 scan step is one vectorized numpy expression over the whole ``(n_reads, L)``
 batch — the same data-parallel shape, so the virtual GPU charges it as one
 scan launch.
+
+Two formulations coexist. The per-spec functions
+(:func:`prefix_fingerprints_batch` / :func:`suffix_fingerprints_batch`)
+are the reference: one ``(n_reads, L)`` matrix per hash lane, a fresh
+temporary per step, ``⌈log₂ L⌉`` doubling steps. The stacked functions
+run all ``2·lanes`` hash lanes as one ``(n_specs, n_reads, L)`` tensor
+with ``out=`` ufuncs into a :class:`ScanWorkspace` — and the prefix
+kernel evaluates the scan in closed form (inverse-place cumulative sum,
+six tensor passes total) instead of doubling steps — so a whole batch
+allocates nothing after warm-up. All intermediates are exact in
+``uint64``, so both formulations produce bit-identical fingerprints;
+tests assert it.
 """
 
 from __future__ import annotations
+
+import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -70,4 +85,143 @@ def suffix_fingerprints_batch(prefix: np.ndarray, spec: HashSpec) -> np.ndarray:
     if length > 1:
         shifted = (prefix[:, :-1] * places[length - 1:0:-1][None, :]) % q
         out[:, 1:] = submod(full, shifted, spec.prime)
+    return out
+
+
+class ScanWorkspace:
+    """Named reusable scratch buffers for the stacked scan kernels.
+
+    One workspace per thread (the map phase keeps them in thread-local
+    storage): arrays handed out for one name alias previous arrays handed
+    out for the same name, so a caller must finish consuming a batch's
+    results before starting the next batch — exactly the per-batch
+    lifetime of the fingerprint hot path.
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self) -> None:
+        self._raw: dict[str, np.ndarray] = {}
+
+    def take(self, name: str, shape: tuple[int, ...],
+             dtype=np.uint64) -> np.ndarray:
+        """A writable ``shape``/``dtype`` array backed by the named buffer."""
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * math.prod(shape)
+        raw = self._raw.get(name)
+        if raw is None or raw.nbytes < nbytes:
+            raw = np.empty(max(nbytes, 1), dtype=np.uint8)
+            self._raw[name] = raw
+        return raw[:nbytes].view(dtype).reshape(shape)
+
+
+@lru_cache(maxsize=64)
+def _stacked_consts(specs: tuple[HashSpec, ...]
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-spec ``(radix mod q, q)`` columns shaped to broadcast over (S, n, L)."""
+    sigma = np.array([[[spec.radix % spec.prime]] for spec in specs],
+                     dtype=np.uint64)
+    q = np.array([[[spec.prime]] for spec in specs], dtype=np.uint64)
+    sigma.setflags(write=False)
+    q.setflags(write=False)
+    return sigma, q
+
+
+@lru_cache(maxsize=64)
+def _stacked_scan_places(specs: tuple[HashSpec, ...], length: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Forward and inverse place-value rows for the closed-form prefix scan.
+
+    ``forward[s, i] = radix_s^i mod q_s`` and
+    ``inverse[s, j] = radix_s^(-j) mod q_s`` (derived from the reversed
+    forward row by one scalar modular inverse, as in
+    :func:`repro.fingerprint.rabin_karp.naive_prefix_fingerprints`).
+    """
+    forward = np.stack([spec.place_values(length) for spec in specs])
+    inverse = np.stack([
+        (spec.place_values(length)[::-1]
+         * np.uint64(pow(spec.radix, -(length - 1), spec.prime)))
+        % np.uint64(spec.prime)
+        for spec in specs])
+    forward.setflags(write=False)
+    inverse.setflags(write=False)
+    return forward, inverse
+
+
+@lru_cache(maxsize=64)
+def _stacked_places_rev(specs: tuple[HashSpec, ...], length: int) -> np.ndarray:
+    """``out[s, j] = radix_s^(L-1-j) mod q_s`` for ``j`` in ``[0, L-1)``.
+
+    The reversed place-value rows the suffix derivation multiplies against
+    ``prefix[:, :, :-1]`` (position ``j`` holds ``sigma^(L-(j+1))``).
+    """
+    stacked = np.stack([
+        spec.place_values(length + 1)[length - 1:0:-1] for spec in specs])
+    stacked.setflags(write=False)
+    return stacked
+
+
+def prefix_fingerprints_stacked(codes: np.ndarray, specs: tuple[HashSpec, ...],
+                                workspace: ScanWorkspace) -> np.ndarray:
+    """Prefix fingerprints of a batch under every spec at once.
+
+    Returns a ``(n_specs, n_reads, L)`` ``uint64`` workspace-backed tensor
+    with ``out[s, r, i] = f_s(read_r[:i+1])`` — bit-identical to stacking
+    ``n_specs`` calls of :func:`prefix_fingerprints_batch`.
+
+    Closed form instead of the log-step doubling scan:
+    ``f(read[:i+1]) = σ^i · Σ_{j≤i} codes[j]·σ^(-j) mod q`` — one modular
+    cumulative sum against inverse place values, then a rescale by the
+    forward places. ~``3·⌈log₂ L⌉`` tensor passes collapse to 6. Every
+    intermediate is exact in ``uint64``: products of residues stay below
+    ``2^62`` and a per-read cumsum of residues is bounded by ``L·2^31``,
+    so the results match the doubling scan bit for bit (the virtual GPU
+    still *charges* the Hillis–Steele pass count — the model simulates
+    the paper's kernel, not this host-side evaluation of it).
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise ConfigError("prefix_fingerprints_stacked expects a (n_reads, L) batch")
+    n, length = codes.shape
+    n_specs = len(specs)
+    prefix = workspace.take("prefix", (n_specs, n, length))
+    if n == 0 or length == 0 or n_specs == 0:
+        prefix[...] = codes
+        return prefix
+    _, q = _stacked_consts(specs)
+    forward, inverse = _stacked_scan_places(specs, length)
+    sums = workspace.take("scratch", (n_specs, n, length))
+    np.multiply(codes[None, :, :], inverse[:, None, :], out=sums)
+    np.remainder(sums, q, out=sums)
+    np.cumsum(sums, axis=2, out=sums)
+    np.remainder(sums, q, out=sums)
+    np.multiply(sums, forward[:, None, :], out=sums)
+    np.remainder(sums, q, out=prefix)
+    return prefix
+
+
+def suffix_fingerprints_stacked(prefix: np.ndarray,
+                                specs: tuple[HashSpec, ...],
+                                workspace: ScanWorkspace) -> np.ndarray:
+    """Suffix fingerprints from stacked prefix fingerprints (Fig. 6).
+
+    ``prefix`` is the output of :func:`prefix_fingerprints_stacked`; the
+    result (workspace-backed) has ``out[s, r, i] = f_s(read_r[i:])``.
+    """
+    n_specs, n, length = prefix.shape
+    out = workspace.take("suffix", (n_specs, n, length))
+    if n == 0 or length == 0 or n_specs == 0:
+        return out
+    out[:, :, 0] = prefix[:, :, -1]
+    if length > 1:
+        sigma, q = _stacked_consts(specs)
+        places = _stacked_places_rev(specs, length)
+        shifted = workspace.take("scratch", (n_specs, n, length))[:, :, 1:]
+        np.multiply(prefix[:, :, :-1], places[:, None, :], out=shifted)
+        np.remainder(shifted, q, out=shifted)
+        # submod(full, shifted, q) = (full + q - shifted) % q, elementwise.
+        full = workspace.take("full", (n_specs, n, 1))
+        np.add(prefix[:, :, -1:], q, out=full)
+        np.subtract(full, shifted, out=shifted)
+        np.remainder(shifted, q, out=out[:, :, 1:])
     return out

@@ -18,6 +18,7 @@ paper's "fingerprint match ⇒ edge with high probability" semantics.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -25,9 +26,21 @@ import numpy as np
 
 from ..errors import ConfigError
 from .rabin_karp import HashSpec
-from .scan import prefix_fingerprints_batch, suffix_fingerprints_batch
+from .scan import (ScanWorkspace, prefix_fingerprints_batch,
+                   prefix_fingerprints_stacked, suffix_fingerprints_batch,
+                   suffix_fingerprints_stacked)
 
 _SHIFT = np.uint64(32)
+
+
+def _legacy_scan() -> bool:
+    """Route key generation through the per-spec reference scans.
+
+    ``REPRO_LEGACY_SCAN=1`` restores the seed formulation (one matrix per
+    hash lane, fresh temporaries per step) — the before-side of the
+    hot-path benchmark and the oracle the stacked path is tested against.
+    """
+    return os.environ.get("REPRO_LEGACY_SCAN", "") == "1"
 
 
 def pack_pair(high: np.ndarray | int, low: np.ndarray | int) -> np.ndarray:
@@ -67,14 +80,23 @@ class FingerprintScheme:
 
     # -- batch kernels -------------------------------------------------------
 
-    def key_matrices(self, codes: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    def key_matrices(self, codes: np.ndarray,
+                     workspace: ScanWorkspace | None = None
+                     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """All prefix and suffix keys for a read batch.
 
         Returns ``(prefix_keys, suffix_keys)``; each is a list of ``lanes``
         matrices of shape ``(n_reads, L)`` ``uint64``, where column ``i`` of a
         prefix matrix keys the length-``i+1`` prefix and column ``i`` of a
         suffix matrix keys the suffix starting at ``i`` (length ``L - i``).
+
+        With a ``workspace`` the key matrices are workspace-backed: valid
+        only until the next ``key_matrices`` call on that workspace, which
+        is the per-batch lifetime of the map phase's hot loop. All
+        ``2·lanes`` hash lanes then run as one stacked in-place scan.
         """
+        if workspace is not None and not _legacy_scan():
+            return self._key_matrices_stacked(codes, workspace)
         prefix_keys: list[np.ndarray] = []
         suffix_keys: list[np.ndarray] = []
         for lane in range(self.lanes):
@@ -85,6 +107,23 @@ class FingerprintScheme:
             suffix_lo = suffix_fingerprints_batch(prefix_lo, spec_lo)
             prefix_keys.append(pack_pair(prefix_hi, prefix_lo))
             suffix_keys.append(pack_pair(suffix_hi, suffix_lo))
+        return prefix_keys, suffix_keys
+
+    def _key_matrices_stacked(self, codes: np.ndarray, workspace: ScanWorkspace
+                              ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """One stacked scan over every hash lane, packed in place."""
+        prefix = prefix_fingerprints_stacked(codes, self.hash_specs, workspace)
+        suffix = suffix_fingerprints_stacked(prefix, self.hash_specs, workspace)
+        prefix_keys: list[np.ndarray] = []
+        suffix_keys: list[np.ndarray] = []
+        n, length = np.asarray(codes).shape
+        for lane in range(self.lanes):
+            for name, stacked, keys in ((f"pk{lane}", prefix, prefix_keys),
+                                        (f"sk{lane}", suffix, suffix_keys)):
+                packed = workspace.take(name, (n, length))
+                np.left_shift(stacked[2 * lane], _SHIFT, out=packed)
+                np.bitwise_or(packed, stacked[2 * lane + 1], out=packed)
+                keys.append(packed)
         return prefix_keys, suffix_keys
 
     # -- scalar reference ------------------------------------------------------

@@ -262,6 +262,8 @@ _NON_SEMANTIC_CHANGES = {
     "retry_backoff_s": 1.25,
     "node_restarts": 3,
     "allow_degraded": False,
+    "buffer_pool": False,
+    "pool_max_bytes": 32 << 20,
 }
 
 #: (field, changed value) for semantic knobs: each must change the key.
