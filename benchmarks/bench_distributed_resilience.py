@@ -3,16 +3,45 @@
 For each cluster size in {2, 4, 8} this runs the distributed assembler
 clean, then with k ∈ {1, 2, 4} injected ``node-crash`` faults (each kills
 the owner of one deterministic reduce partition at its token boundary,
-forcing heartbeat detection, restart and ledger-verified replay), and
-reports the recovery overhead — extra modeled token time as a percentage
-of the clean run's. Every faulted run must still produce the clean run's
-byte-identical contigs; ``recovered`` records that check. Results land in
-``benchmarks/results/BENCH_resilience.json``::
+forcing heartbeat detection, restart and ledger-verified replay) — under
+**two recovery policies**:
+
+``seed``
+    The historical ladder: detection waits out ``node_timeout`` and the
+    replay reprocesses the dead node's whole partition attempt.
+
+``cheap``
+    The cheap-recovery stack (DESIGN.md §2g): fast heartbeats
+    (``heartbeat_interval=0.02``), speculative re-execution
+    (``speculation_threshold=0.02``) and intra-partition chunk
+    checkpoints (``chunk_checkpoint_every=512``). All three are
+    policy-only — every cell still asserts byte-identity to the clean run.
+
+Each entry reports the extra modeled reduce time over that policy's own
+clean run (``overhead_pct``), and for faulted cells the *genuinely lost
+work* — wasted attempt seconds plus speculation waste plus displaced
+(moved) work — and the ``overhead_ratio = overhead_s / lost_work_s``. The
+acceptance line for the cheap policy is ``overhead_ratio <= 2`` at
+2 nodes / 1 crash: recovery costs at most twice the work the crash
+actually destroyed, versus ~10x under the seed policy (whose overhead is
+dominated by the 1 s detection timeout, not by lost work).
+
+Known shape: cells where *every* node dies at least once (2 nodes with
+2+ crashes, 4 nodes with 4) can regress slightly under the cheap policy —
+with no idle capacity there is nothing to speculate onto, and the fast
+heartbeat cadence makes each restart's detection charge
+(``misses x heartbeat_interval`` of network traffic) visible. That is the
+documented cost of fast detection, not lost recovery work.
+
+Results land in ``benchmarks/results/BENCH_resilience.json``::
 
     {"cpu_count": ..., "mode": "full"|"smoke", "seed": ...,
-     "entries": [{"nodes": ..., "crashes": ..., "fired": ...,
-                  "token_s": ..., "total_s": ..., "overhead_pct": ...,
-                  "restarts": ..., "failovers": ..., "recovered": true},
+     "entries": [{"policy": "seed"|"cheap", "nodes": ..., "crashes": ...,
+                  "fired": ..., "token_s": ..., "total_s": ...,
+                  "overhead_pct": ..., "lost_work_s": ...,
+                  "overhead_ratio": ..., "restarts": ..., "failovers": ...,
+                  "speculations": ..., "chunk_resumes": ...,
+                  "recovered": true},
                  ...]}
 
 ``--smoke`` shrinks the dataset and sweep so CI can exercise the recovery
@@ -45,6 +74,15 @@ CRASH_COUNTS = (0, 1, 2, 4)
 SEED = 23
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_resilience.json"
 
+#: The cheap-recovery policy knobs (all policy-only, out of the checkpoint
+#: fingerprint): fast detection, speculation as soon as a heartbeat is
+#: missed, chunk commits every 512 processed records.
+CHEAP_KNOBS = {
+    "heartbeat_interval": 0.02,
+    "speculation_threshold": 0.02,
+    "chunk_checkpoint_every": 512,
+}
+
 
 def _identity(result) -> tuple:
     return (result.contigs.flat_codes.tobytes(),
@@ -66,6 +104,13 @@ def _crash_plan(clean, crashes: int, seed: int) -> FaultPlan:
                       for length in chosen], seed=seed)
 
 
+def _lost_work_s(notes: dict) -> float:
+    """Simulated seconds of work the crashes genuinely destroyed/displaced."""
+    return (notes.get("wasted_s", 0.0)
+            + notes.get("speculation_wasted_s", 0.0)
+            + notes.get("speculation_moved_s", 0.0))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -84,44 +129,73 @@ def main(argv: list[str] | None = None) -> int:
                              seed=7)
         # Restart budget sized so every injected crash is absorbed by
         # restart + replay (the overhead being measured), not by node loss.
-        config = AssemblyConfig(min_overlap=24, seed=7,
-                                node_restarts=max(crash_counts))
+        base = dict(min_overlap=24, seed=7, node_restarts=max(crash_counts))
+        policies = {
+            "seed": AssemblyConfig(**base),
+            "cheap": AssemblyConfig(**base, **CHEAP_KNOBS),
+        }
         for nodes in node_counts:
-            assembler = DistributedAssembler(config, nodes)
-            clean = assembler.assemble(md.store_path)
-            baseline = _identity(clean)
-            for crashes in crash_counts:
-                if crashes == 0:
-                    result, fired = clean, 0
-                else:
-                    plan = _crash_plan(clean, crashes, SEED + crashes)
-                    with inject(plan):
-                        result = assembler.assemble(md.store_path)
-                    fired = len(plan.events)
-                token_s = result.phase_seconds["reduce"]
-                overhead = (100.0 * (token_s - clean.phase_seconds["reduce"])
-                            / clean.phase_seconds["reduce"])
-                entry = {
-                    "nodes": nodes,
-                    "crashes": crashes,
-                    "fired": fired,
-                    "token_s": round(token_s, 6),
-                    "total_s": round(result.total_seconds, 6),
-                    "overhead_pct": round(overhead, 2),
-                    "restarts": int(result.notes.get("node_restarts", 0)),
-                    "failovers": int(result.notes.get("failovers", 0)),
-                    "recovered": (result.degraded is None
-                                  and _identity(result) == baseline),
-                }
-                entries.append(entry)
-                print(f"nodes={nodes} crashes={crashes} (fired {fired}): "
-                      f"token={entry['token_s']:.4f}s "
-                      f"overhead={entry['overhead_pct']:+.2f}% "
-                      f"restarts={entry['restarts']} "
-                      f"recovered={entry['recovered']}")
+            for policy, config in policies.items():
+                assembler = DistributedAssembler(config, nodes)
+                clean = assembler.assemble(md.store_path)
+                baseline = _identity(clean)
+                clean_token = clean.phase_seconds["reduce"]
+                for crashes in crash_counts:
+                    if crashes == 0:
+                        result, fired = clean, 0
+                    else:
+                        plan = _crash_plan(clean, crashes, SEED + crashes)
+                        with inject(plan):
+                            result = assembler.assemble(md.store_path)
+                        fired = len(plan.events)
+                    token_s = result.phase_seconds["reduce"]
+                    overhead_s = token_s - clean_token
+                    lost = _lost_work_s(result.notes)
+                    entry = {
+                        "policy": policy,
+                        "nodes": nodes,
+                        "crashes": crashes,
+                        "fired": fired,
+                        "token_s": round(token_s, 6),
+                        "total_s": round(result.total_seconds, 6),
+                        "overhead_pct": round(100.0 * overhead_s
+                                              / clean_token, 2),
+                        "lost_work_s": round(lost, 6),
+                        "overhead_ratio": (round(overhead_s / lost, 3)
+                                           if lost > 0 else None),
+                        "restarts": int(result.notes.get("node_restarts", 0)),
+                        "failovers": int(result.notes.get("failovers", 0)),
+                        "speculations": int(result.notes.get(
+                            "speculations", 0)),
+                        "chunk_resumes": int(result.notes.get(
+                            "chunk_resumes", 0)),
+                        "recovered": (result.degraded is None
+                                      and _identity(result) == baseline),
+                    }
+                    entries.append(entry)
+                    ratio = entry["overhead_ratio"]
+                    print(f"[{policy:5s}] nodes={nodes} crashes={crashes} "
+                          f"(fired {fired}): token={entry['token_s']:.4f}s "
+                          f"overhead={entry['overhead_pct']:+.2f}% "
+                          f"lost={entry['lost_work_s']:.4f}s "
+                          f"ratio={ratio if ratio is not None else '-'} "
+                          f"restarts={entry['restarts']} "
+                          f"spec={entry['speculations']} "
+                          f"resumes={entry['chunk_resumes']} "
+                          f"recovered={entry['recovered']}")
 
     if not all(entry["recovered"] for entry in entries):
         print("WARNING: some faulted runs did not recover byte-identically")
+
+    # The acceptance cell: cheap recovery at 2 nodes / 1 crash must cost at
+    # most twice the work the crash destroyed.
+    accept = [e for e in entries
+              if e["policy"] == "cheap" and e["nodes"] == 2
+              and e["crashes"] == 1 and e["overhead_ratio"] is not None]
+    for entry in accept:
+        verdict = "PASS" if entry["overhead_ratio"] <= 2.0 else "FAIL"
+        print(f"acceptance (cheap, 2 nodes, 1 crash): "
+              f"ratio={entry['overhead_ratio']} <= 2.0 -> {verdict}")
 
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(

@@ -127,7 +127,10 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
                             heartbeat_interval=args.heartbeat_interval,
                             node_timeout=args.node_timeout,
                             node_restarts=args.node_restarts,
-                            allow_degraded=not args.no_degraded)
+                            allow_degraded=not args.no_degraded,
+                            chunk_checkpoint_every=args.chunk_checkpoint_every,
+                            speculation_threshold=args.speculation_threshold,
+                            allow_join=args.allow_join or bool(args.join_at))
     source = args.reads
     if not str(source).endswith(".lsgr"):
         # The simulated cluster's shared input store is packed; convert first.
@@ -144,7 +147,9 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
             writer.append_batch(batch)
         writer.close()
         source = packed
-    result = DistributedAssembler(config, args.nodes).assemble(source)
+    joins = tuple(args.join_at or ())
+    result = DistributedAssembler(config, args.nodes,
+                                  joins=joins).assemble(source)
     print(f"assembled on {args.nodes} simulated nodes: "
           f"{result.n_reads:,} reads -> {result.contigs.n_contigs} contigs "
           f"(N50 {result.stats()['n50']})")
@@ -342,6 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     distributed.add_argument("--no-degraded", action="store_true",
                              help="fail the run instead of completing in "
                                   "degraded mode when partitions are lost")
+    distributed.add_argument("--chunk-checkpoint-every", type=int,
+                             default=4096, metavar="N",
+                             help="records of reduce progress per durable "
+                                  "chunk checkpoint (0 disables)")
+    distributed.add_argument("--speculation-threshold", type=float,
+                             default=0.0, metavar="S",
+                             help="simulated heartbeat-silence before a "
+                                  "backup re-executes a suspect's reduce "
+                                  "work (0 disables; must be >= the "
+                                  "heartbeat interval)")
+    distributed.add_argument("--allow-join", action="store_true",
+                             help="accept nodes joining the cluster mid-run")
+    distributed.add_argument("--join-at", type=int, action="append",
+                             default=None, metavar="HOP",
+                             help="add one node after this many reduce "
+                                  "token hops (repeatable; implies "
+                                  "--allow-join semantics must be enabled)")
     distributed.add_argument("--trace", metavar="PATH", default="",
                              help="dump a cluster-wide span trace (one track "
                                   "per node) into this directory")

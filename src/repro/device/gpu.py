@@ -19,11 +19,13 @@ a programming error, just as dereferencing host memory in a CUDA kernel is.
 from __future__ import annotations
 
 import math
+import weakref
 from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigError, DeviceMemoryError, SortContractError
+from ..errors import (ConfigError, DeviceError, DeviceMemoryError,
+                      SortContractError)
 from . import costs, kernels
 from .clock import SimClock
 from .memory import Allocation, BufferPool, MemoryPool
@@ -98,6 +100,29 @@ class VirtualGPU:
         # live at once, so the device budget is a natural default cap.
         self.buffers = buffers if buffers is not None \
             else BufferPool(self.pool.capacity_bytes)
+        #: Host arrays surrendered to consuming transfers, ``id(array) ->
+        #: (weakref, owning transfer label)``. Weak references so the
+        #: registry never extends an array's lifetime; validated on lookup
+        #: against id reuse.
+        self._consumed: dict[int, tuple[weakref.ref, str]] = {}
+
+    def _consumed_owner(self, array: np.ndarray) -> str | None:
+        """The transfer label that consumed ``array``, if it is poisoned."""
+        entry = self._consumed.get(id(array))
+        if entry is None:
+            return None
+        ref, label = entry
+        if ref() is not array:  # the id was reused after a gc: stale entry
+            del self._consumed[id(array)]
+            return None
+        return label
+
+    def _track_consumed(self, array: np.ndarray, label: str) -> None:
+        if len(self._consumed) > 1024:
+            self._consumed = {key: entry for key, entry
+                              in self._consumed.items()
+                              if entry[0]() is not None}
+        self._consumed[id(array)] = (weakref.ref(array), label)
 
     # -- transfers ----------------------------------------------------------
 
@@ -107,8 +132,16 @@ class VirtualGPU:
 
         With ``consume=True`` the caller cedes ownership: the host array
         itself becomes the device storage (zero-copy) and is poisoned
-        read-only — the caller must not touch it again.
+        read-only — the caller must not touch it again. Re-consuming a
+        poisoned array raises :class:`~repro.errors.DeviceError` naming the
+        transfer that owns it.
         """
+        owner = self._consumed_owner(array)
+        if consume and owner is not None:
+            raise DeviceError(
+                f"to_device(consume=True, label={label!r}): host array was "
+                f"already consumed by transfer {owner!r}; its memory is "
+                "device storage now and cannot be ceded twice")
         source = np.ascontiguousarray(array)
         allocation = self.pool.alloc(source.nbytes, label=label)
         self.clock.charge("h2d", costs.transfer_seconds(self.spec, source.nbytes))
@@ -118,6 +151,7 @@ class VirtualGPU:
         if consume:
             if array.flags.writeable and array.flags.owndata:
                 array.setflags(write=False)
+                self._track_consumed(array, label)
             return DeviceArray(source, allocation, buffers=self.buffers)
         device, raw = self.buffers.take(source.shape, source.dtype)
         device[...] = source  # structured-dtype-safe copy
@@ -128,12 +162,21 @@ class VirtualGPU:
         """Copy a device array back to the host (charges PCIe time).
 
         ``out=`` supplies the destination buffer (shape and dtype must
-        match), sparing the allocation of a fresh host array.
+        match), sparing the allocation of a fresh host array. A consumed
+        (poisoned) array is device storage and refused as a destination
+        with :class:`~repro.errors.DeviceError`.
         """
         self._check_live(darray)
         self.clock.charge("d2h", costs.transfer_seconds(self.spec, darray.array.nbytes))
         if out is None:
             return darray.array.copy()
+        owner = self._consumed_owner(out)
+        if owner is not None:
+            raise DeviceError(
+                f"to_host(out=): destination was consumed by transfer "
+                f"{owner!r}; writing through it would corrupt device storage")
+        if not out.flags.writeable:
+            raise DeviceError("to_host(out=): destination array is read-only")
         if out.shape != darray.array.shape or out.dtype != darray.array.dtype:
             raise ConfigError("to_host out= buffer shape/dtype mismatch")
         out[...] = darray.array

@@ -220,13 +220,23 @@ class BufferPool:
         return raw[:nbytes].view(dtype).reshape(shape), raw
 
     def give(self, raw: np.ndarray | None) -> None:
-        """Return a raw buffer from :meth:`take` (or :meth:`adoptable`)."""
+        """Return a raw buffer from :meth:`take` (or :meth:`adoptable`).
+
+        Read-only raws are silently dropped: a consumed (poisoned) host
+        array is still visible to its original owner, and re-issuing its
+        memory from :meth:`take` would hand a "fresh" buffer that cannot be
+        written (or worse, one the owner can still read while it changes).
+        """
         if raw is None or not self.enabled:
             return
-        size_class = _size_class(raw.nbytes) if raw.nbytes & (raw.nbytes - 1) \
-            else raw.nbytes
+        if not raw.flags.writeable:
+            return
+        # Uniform classification: exact powers of two land in their own
+        # class; everything else rounds DOWN to the class whose takes are
+        # guaranteed to fit inside the raw.
+        size_class = _size_class(raw.nbytes)
         if size_class > raw.nbytes:
-            size_class >>= 1  # foreign buffer: round DOWN so takes still fit
+            size_class >>= 1
         if size_class < 256:
             return
         with self._lock:

@@ -89,7 +89,8 @@ class DistributedAssembler:
 
     def __init__(self, config: AssemblyConfig, n_nodes: int, *,
                  network: NetworkSpec | None = None,
-                 disk: DiskSpec | None = None, host: HostSpec | None = None):
+                 disk: DiskSpec | None = None, host: HostSpec | None = None,
+                 joins: tuple[int, ...] = ()):
         if n_nodes < 1:
             raise ConfigError("n_nodes must be >= 1")
         self.config = config
@@ -97,6 +98,16 @@ class DistributedAssembler:
         self.network = network if network is not None else NetworkSpec()
         self.disk = disk
         self.host = host
+        #: Elastic-membership schedule: each entry is a reduce token-hop
+        #: count after which one new node joins the cluster (requires
+        #: ``allow_join``). The joiner takes a fair share of the remaining
+        #: partitions and rebuilds them lazily from lineage.
+        self.joins = tuple(sorted(joins))
+        if self.joins and not config.allow_join:
+            raise ConfigError(
+                "a join schedule requires allow_join=true")
+        if any(j < 0 for j in self.joins):
+            raise ConfigError("join hop counts must be >= 0")
 
     # -- helpers ---------------------------------------------------------------
 
@@ -288,8 +299,18 @@ class DistributedAssembler:
         phase_start = max(before)
         token_time = phase_start
         bitvec_transfer = self.network.transfer_seconds(graph.out_bits.nbytes)
-        for length in sorted(lengths, reverse=True):
+        ordered = sorted(lengths, reverse=True)
+        pending_joins = list(self.joins)
+        for idx, length in enumerate(ordered):
             supervisor.phase = "reduce"
+            while pending_joins and \
+                    report.partitions_processed >= pending_joins[0]:
+                # A node joins after the scheduled token hop: it takes a
+                # fair share of the not-yet-reduced tail and rebuilds each
+                # partition lazily as the token approaches it.
+                pending_joins.pop(0)
+                joiner = supervisor.join_node()
+                supervisor.rebalance_to(joiner, ordered[idx:])
             if not supervisor.partition_has_data(length):
                 continue
             attempt_wall = time.perf_counter()
@@ -299,13 +320,34 @@ class DistributedAssembler:
                 p_path = node.shuffled.path("P", length, sorted_run=True)
                 _, m_d = node.ctx.config.resolved_blocks(node.dtype.itemsize)
                 window = max(1, m_d // REDUCE_WINDOW_DIVISOR)
+                chunk_every = node.ctx.config.chunk_checkpoint_every
                 host_before = node.ctx.clock.seconds("host")
                 with RunReader(s_path, node.dtype,
                                node.ctx.accountant) as suffixes, \
                         RunReader(p_path, node.dtype,
                                   node.ctx.accountant) as prefixes:
+                    # Resume from the last durable chunk (this node's ledger
+                    # or the supervisor mirror): seek past the committed
+                    # prefix instead of reprocessing it. New commits carry
+                    # absolute offsets so a later resume composes.
+                    resume = supervisor.chunk_resume(node, length)
+                    base, s_off, p_off = (-1, 0, 0) if resume is None \
+                        else resume
+                    if resume is not None:
+                        suffixes.skip(s_off)
+                        prefixes.skip(p_off)
+                    on_chunk = None
+                    if chunk_every:
+                        def on_chunk(i, s_done, p_done, node=node,
+                                     length=length, base=base,
+                                     s_off=s_off, p_off=p_off):
+                            supervisor.commit_chunk(
+                                node, length, base + 1 + i,
+                                s_off + s_done, p_off + p_done)
                     reduce_partition(node.ctx, graph, suffixes, prefixes,
-                                     length, window, report)
+                                     length, window, report,
+                                     chunk_records=chunk_every,
+                                     on_chunk=on_chunk)
                 t_graph = node.ctx.clock.seconds("host") - host_before
                 find_done = node.ctx.clock.total_seconds - t_graph
                 return t_graph, find_done
@@ -341,8 +383,12 @@ class DistributedAssembler:
                                 length=length, node=outcome.node,
                                 attempt=outcome.attempts - 1)
         report.edges_added = graph.n_edges
+        # The phase ends when the token has folded in every partition's
+        # edges: ``token_time`` already waited on every find_done (and every
+        # recovery charge) the graph consumed. A node still recovering past
+        # that point — a speculation loser replaying in the background — is
+        # off the critical path and re-enters at the next barrier.
         reduce_time = token_time - phase_start
         per_node = [node.ctx.clock.total_seconds - b
                     for node, b in zip(nodes, before)]
-        return (graph, report, max(reduce_time, max(per_node)), per_node,
-                tuple(token_trace))
+        return graph, report, reduce_time, per_node, tuple(token_trace)

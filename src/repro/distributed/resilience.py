@@ -30,8 +30,29 @@ simulated clock so every timeline is deterministic and replayable:
    :class:`DegradedRunReport` instead of raising (``allow_degraded=False``
    restores the old fail-stop behaviour).
 
-Everything is instrumented: ``failover``/``backoff`` spans and
-``heartbeat-miss`` instants on the cluster track, and an
+Three *cheap recovery* mechanisms shorten the ladder's rungs (DESIGN.md
+§2g):
+
+* **Incremental chunk checkpoints** (``chunk_checkpoint_every``) — the
+  reduce loop commits sub-partition progress to the owner's durable ledger
+  (mirrored in the supervisor), so a restart resumes from the last chunk
+  boundary instead of replaying the whole partition. Safe because chunk
+  boundaries fall on fingerprint-group boundaries, rebuilt streams are
+  byte-identical, and duplicate candidate offers are rejected by the
+  graph's out-degree bit-vector.
+* **Speculative re-execution** (``speculation_threshold``) — a reduce
+  owner that goes heartbeat-silent past the threshold is a *suspect*: an
+  idle node resumes its remaining chunks from the mirror while the victim
+  restarts, both executions run for real, and the first to complete wins
+  (deterministic tie-break on node id). Output is byte-identical either
+  way — the loser's duplicate offers are idempotent.
+* **Elastic membership** (``allow_join``) — a node joining mid-reduce
+  takes a fair share of the remaining partitions through the failover
+  re-shuffle path run in reverse: rebuilt from lineage on the joiner,
+  lazily as the token approaches.
+
+Everything is instrumented: ``failover``/``backoff``/``speculation`` spans,
+``heartbeat-miss``/``node-join`` instants on the cluster track, and an
 :class:`~repro.telemetry.EventMeter` of resilience counters surfaced in
 ``DistributedResult.notes``.
 """
@@ -49,6 +70,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from ..config import AssemblyConfig
+from ..core.checkpoint import chunk_key
 from ..core.map_phase import run_map
 from ..device.specs import DiskSpec, HostSpec
 from ..errors import DistributedProtocolError, FaultInjected, MessageDropped
@@ -203,6 +225,16 @@ class ClusterSupervisor:
         self.owner_of: dict[int, int] = {}
         self.phase = "map"
         self.dropped: list[DroppedPartition] = []
+        #: Supervisor-side mirror of each partition's last durable chunk:
+        #: ``length -> (index, s_off, p_off, key)``. A speculative backup
+        #: (whose own ledger never saw the partition) resumes from here.
+        self.chunk_mirror: dict[int, tuple[int, int, int, str]] = {}
+        #: Nodes whose slow progress reports have already been observed for
+        #: one full ``speculation_threshold`` — further races against them
+        #: need no fresh observation window. Cleared when a suspect wins a
+        #: race (it caught up).
+        self.suspects: set[int] = set()
+        self.joined: list[int] = []
 
     # -- small helpers ---------------------------------------------------------
 
@@ -480,12 +512,16 @@ class ClusterSupervisor:
         alive = {n.node_id: n for n in self.alive() if n is not node}
         alive[node.node_id] = node
         recompute = self._piece_provider(node, lengths)
+        sim0 = node.ctx.clock.total_seconds
         try:
             pulled = node.rebuild_partitions(self.n_nodes, alive, lengths,
                                              recompute)
         finally:
             shutil.rmtree(node.ctx.workdir / "recover", ignore_errors=True)
         self.meter.bump("partitions_rebuilt", len(lengths))
+        # Rebuild time is work the failure destroyed — the benchmark's
+        # "lost work" denominator.
+        self.meter.bump("rebuild_s", node.ctx.clock.total_seconds - sim0)
         return pulled
 
     def _piece_provider(self, rebuilder: WorkerNode, lengths: list[int],
@@ -684,6 +720,303 @@ class ClusterSupervisor:
             return True
         return self._ledgered_records(length) > 0
 
+    # -- intra-partition chunk checkpoints --------------------------------------
+
+    def commit_chunk(self, node: WorkerNode, length: int, index: int,
+                     s_off: int, p_off: int) -> None:
+        """Make one chunk of reduce progress durable.
+
+        Ordering is the protocol: the chunk's candidate offers are already
+        in the graph when this runs, then the :data:`~repro.faults.CHUNK`
+        kill-point fires (a crash here loses only this one chunk — the
+        resume point stays at the previous commit and the re-offered
+        candidates are rejected as duplicates), then the entry lands in the
+        owner's durable ledger and finally in the supervisor mirror. Chunk
+        commits piggyback on heartbeats, so they cost no simulated time.
+        """
+        name = f"reduce[{length}]"
+        faults.barrier(faults.CHUNK, f"{node.scope}:{name}#{index}")
+        key = chunk_key(self.config, name, index, s_off, p_off)
+        node.ledger.mark_chunk("reduce", name, index, s_off, p_off, key)
+        self.chunk_mirror[length] = (index, s_off, p_off, key)
+        self.meter.bump("chunks_committed")
+
+    def chunk_resume(self, node: WorkerNode, length: int,
+                     ) -> tuple[int, int, int] | None:
+        """Where ``node`` may resume partition ``length``: the freshest of
+        its own durable ledger entry and the supervisor mirror.
+
+        Entries are trusted only when their scope-free
+        :func:`~repro.core.checkpoint.chunk_key` re-derives — a stale entry
+        from an earlier configuration (or a torn ledger) resumes nothing
+        and the partition replays whole, which is always correct. The
+        mirror is what lets a *different* node (failover owner or
+        speculative backup) resume: rebuilt partitions are byte-identical,
+        so record offsets carry across nodes.
+        """
+        if not self.config.chunk_checkpoint_every:
+            return None
+        name = f"reduce[{length}]"
+        candidates = [node.ledger.chunk_progress("reduce", name)]
+        mirror = self.chunk_mirror.get(length)
+        if mirror is not None:
+            candidates.append({"index": mirror[0], "s_off": mirror[1],
+                               "p_off": mirror[2], "key": mirror[3]})
+        best = None
+        for entry in candidates:
+            if not entry:
+                continue
+            expected = chunk_key(self.config, name, entry["index"],
+                                 entry["s_off"], entry["p_off"])
+            if entry.get("key") != expected:
+                continue
+            if best is None or entry["index"] > best["index"]:
+                best = entry
+        if best is None:
+            return None
+        self.meter.bump("chunk_resumes")
+        return best["index"], best["s_off"], best["p_off"]
+
+    def finish_partition(self, length: int) -> None:
+        """Retire a reduced partition's chunk state (mark supersedes it)."""
+        self.chunk_mirror.pop(length, None)
+        name = f"reduce[{length}]"
+        for node in self.alive():
+            if node.ledger.chunk_progress("reduce", name) is not None:
+                node.ledger.clear_chunks("reduce", name)
+
+    # -- speculation ------------------------------------------------------------
+
+    def _suspect_at(self, dead: WorkerNode) -> float:
+        """When the supervisor may *suspect* (not yet declare) a silent node.
+
+        Same heartbeat arithmetic as :meth:`_detect` with
+        ``speculation_threshold`` in place of ``node_timeout`` — a suspect
+        is observable strictly earlier than a declared death, which is the
+        whole budget speculation has to win by.
+        """
+        hb = self.config.heartbeat_interval
+        t_fail = dead.ctx.clock.total_seconds
+        last_hb = math.floor(t_fail / hb) * hb
+        return max(t_fail, last_hb + self.config.speculation_threshold)
+
+    def _straggling(self, owner_id: int) -> bool:
+        """Whether the owner's progress reports mark it a *suspect*.
+
+        A node whose clock trails the least-loaded survivor by more than
+        ``speculation_threshold`` (a restarted crash victim carrying its
+        detection gap, or any straggler) would stall the token; its
+        partitions are raced instead of waited for.
+        """
+        if not self.config.speculation_threshold:
+            return False
+        others = [n.ctx.clock.total_seconds for n in self.alive()
+                  if n.node_id != owner_id]
+        if not others:
+            return False
+        lag = self.nodes[owner_id].ctx.clock.total_seconds - min(others)
+        # A race only pays when the owner's lag exceeds the observation
+        # window plus what moving the partition costs — estimated from the
+        # rebuilds this run has already done (0 until the first sample).
+        counters = self.meter.counters()
+        rebuilt = counters.get("partitions_rebuilt", 0)
+        est_rebuild = counters.get("rebuild_s", 0.0) / rebuilt if rebuilt \
+            else 0.0
+        return lag > self.config.speculation_threshold + est_rebuild
+
+    def _reduce_attempts(self, owner_id: int, length: int, attempt_fn, *,
+                         counter: list[int], failures: list[dict],
+                         ) -> tuple[int, float, float]:
+        """The reduce-specialized ladder: like :meth:`_run_on_node`, plus
+        speculative re-execution when the owner dies or straggles.
+
+        Returns ``(winner_id, t_graph, find_done)``.
+        """
+        op = f"reduce[{length}]"
+        cycles = 0
+        while True:
+            if owner_id in self.lost:
+                raise _NodeLost(owner_id)
+            cycles += 1
+            if cycles > self.n_nodes * (self.config.node_restarts + 2) + 2:
+                raise DistributedProtocolError(
+                    f"recovery did not converge for {op} on node {owner_id}")
+            if self._straggling(owner_id):
+                # The owner is alive but far behind the cluster: its
+                # progress heartbeats give it away after one threshold of
+                # observation, so a backup races it without waiting for it
+                # to fail.
+                result = self._speculate(
+                    owner_id, length, None, attempt_fn, counter, failures)
+                if result is not None:
+                    return result
+            try:
+                t_graph, find_done = self._attempt_cycle(
+                    self.nodes[owner_id], op,
+                    lambda node, _a: attempt_fn(node),
+                    counter=counter, failures=failures)
+                return owner_id, t_graph, find_done
+            except _NodeDeath as death:
+                speculate = (self.config.speculation_threshold > 0
+                             and self.nodes[owner_id].scope in death.victims)
+                suspect_at = self._suspect_at(self.nodes[owner_id]) \
+                    if speculate else 0.0
+                for scope in death.victims:
+                    self._handle_death(self._scope_id(scope))
+                if not speculate:
+                    continue
+                result = self._speculate(owner_id, length, suspect_at,
+                                         attempt_fn, counter, failures)
+                if result is not None:
+                    return result
+
+    def _speculate(self, owner_id: int, length: int, suspect_at: float | None,
+                   attempt_fn, counter: list[int], failures: list[dict],
+                   ) -> tuple[int, float, float] | None:
+        """Race a backup execution against the (suspect) owner.
+
+        The backup is the least-loaded survivor; it idles until the suspect
+        instant (nobody may act on silence it has not yet observed —
+        ``suspect_at=None`` marks a straggler race, where the backup
+        instead spends one threshold watching the owner's slow progress
+        reports), pulls a byte-identical rebuild of the partition if it
+        lacks one, and resumes from the mirrored chunk. The owner replays
+        from its own durable ledger. Both executions are *real* — every
+        offer actually reaches the graph, duplicates rejected — so
+        whichever completes first can be declared the winner purely by
+        simulated arithmetic (earlier ``find_done``, node id breaking
+        ties) without any byte-level consequence. Returns ``None`` when
+        both contenders died, sending the caller around the ladder again.
+        """
+        op = f"reduce[{length}]"
+        backups = [n for n in self.alive() if n.node_id != owner_id]
+        if not backups:
+            return None
+        backup_id = min(backups,
+                        key=lambda n: (n.ctx.clock.total_seconds,
+                                       n.node_id)).node_id
+        self.meter.bump("speculations")
+        contenders: list[tuple[int, float, float, float]] = []
+        wall0 = time.perf_counter()
+        backup = self.nodes[backup_id]
+        if suspect_at is None:
+            # Straggler race: a *new* suspect costs one observation window;
+            # a node already under suspicion is raced immediately.
+            suspect_at = backup.ctx.clock.total_seconds
+            if owner_id not in self.suspects:
+                suspect_at += self.config.speculation_threshold
+        self.suspects.add(owner_id)
+        wait = suspect_at - backup.ctx.clock.total_seconds
+        if wait > 0:
+            # The suspicion clock, not the backup's: it may not act on
+            # silence it has not yet observed.
+            backup.ctx.clock.charge("retry", wait)
+        sim0 = backup.ctx.clock.total_seconds
+        try:
+            self._ensure_partition(backup_id, length)
+            t_graph, find_done = self._attempt_cycle(
+                self.nodes[backup_id], op,
+                lambda node, _a: attempt_fn(node),
+                counter=counter, failures=failures)
+            contenders.append((backup_id, t_graph, find_done, sim0))
+        except _NodeDeath as death:
+            for scope in death.victims:
+                self._handle_death(self._scope_id(scope))
+        except _NodeLost:
+            pass
+        if owner_id not in self.lost:
+            owner = self.nodes[owner_id]
+            sim0 = owner.ctx.clock.total_seconds
+            try:
+                t_graph, find_done = self._attempt_cycle(
+                    owner, op, lambda node, _a: attempt_fn(node),
+                    counter=counter, failures=failures)
+                contenders.append((owner_id, t_graph, find_done, sim0))
+            except _NodeDeath as death:
+                for scope in death.victims:
+                    self._handle_death(self._scope_id(scope))
+            except _NodeLost:
+                pass
+        if not contenders:
+            return None
+        contenders.sort(key=lambda c: (c[2], c[0]))  # find_done, then node id
+        winner_id, t_graph, find_done, _ = contenders[0]
+        self.owner_of[length] = winner_id
+        if winner_id == owner_id:
+            self.suspects.discard(owner_id)
+        self.meter.bump("speculation_wins" if winner_id == backup_id
+                        else "speculation_losses")
+        wall1 = time.perf_counter()
+        for node_id, w_graph, w_done, w_sim0 in contenders:
+            won = node_id == winner_id
+            if not won:
+                self.meter.bump("speculation_wasted_s",
+                                (w_done + w_graph) - w_sim0)
+            elif node_id != owner_id:
+                # Work displaced off the suspect onto the backup (rebuild
+                # plus the find itself): the other half of the benchmark's
+                # "lost work" denominator.
+                self.meter.bump("speculation_moved_s",
+                                (w_done + w_graph) - w_sim0)
+            if self.ctracer.enabled:
+                self.ctracer.complete(
+                    "speculation", wall0, wall1, track="cluster",
+                    cat="resilience", det=True, sim0=w_sim0,
+                    sim1=w_done + w_graph, node=node_id, length=length,
+                    action="win" if won else "lose",
+                    backup=node_id == backup_id)
+        return winner_id, t_graph, find_done
+
+    # -- elastic membership -----------------------------------------------------
+
+    def join_node(self) -> WorkerNode:
+        """Accept a node joining mid-reduce (requires ``allow_join``).
+
+        The joiner gets the next node id and a clock advanced to the
+        cluster frontier (it cannot have done work before it existed).
+        ``n_nodes`` deliberately stays the mapping-time count: lineage
+        rebuilds enumerate the peers that mapped read blocks, and the
+        joiner never did.
+        """
+        if not self.config.allow_join:
+            raise DistributedProtocolError(
+                "a node offered to join but allow_join is off")
+        node_id = len(self.nodes)
+        joiner = WorkerNode(node_id, self.config, self.root, self.messages,
+                            disk=self.disk, host=self.host, tracer=self.tracer)
+        frontier = max((n.ctx.clock for n in self.alive()),
+                       key=lambda c: c.total_seconds, default=None)
+        if frontier is not None:
+            joiner.ctx.clock.advance_to(frontier)
+        joiner.ctx.clock.charge("network", self.network.heartbeat_seconds())
+        self.nodes.append(joiner)
+        self.joined.append(node_id)
+        self.meter.bump("nodes_joined")
+        if self.ctracer.enabled:
+            self.ctracer.instant("node-join", track="cluster",
+                                 cat="resilience", det=True,
+                                 sim_at=joiner.ctx.clock.total_seconds,
+                                 node=node_id, phase=self.phase)
+        return joiner
+
+    def rebalance_to(self, joiner: WorkerNode,
+                     remaining_lengths: list[int]) -> list[int]:
+        """Reassign a fair share of unreduced partitions to a joiner.
+
+        The failover re-shuffle run in reverse: ownership moves now, the
+        byte-identical lineage rebuild happens lazily in
+        :meth:`_ensure_partition` as the token approaches each partition —
+        charged to the joiner's clock, overlapping earlier token hops,
+        which is what bends the scaling curve.
+        """
+        share = len(self.alive())
+        taken = [length for i, length in enumerate(remaining_lengths)
+                 if i % share == share - 1]
+        for length in taken:
+            self.owner_of[length] = joiner.node_id
+        self.meter.bump("join_rebalanced", len(taken))
+        return taken
+
     def reduce_partition(self, length: int, attempt_fn) -> ReduceOutcome:
         """Run one token hop through the ladder.
 
@@ -708,11 +1041,11 @@ class ClusterSupervisor:
             tried.add(owner_id)
             try:
                 self._ensure_partition(owner_id, length)
-                t_graph, find_done = self._run_on_node(
-                    owner_id, f"reduce[{length}]",
-                    lambda node, _a: attempt_fn(node),
+                winner_id, t_graph, find_done = self._reduce_attempts(
+                    owner_id, length, attempt_fn,
                     counter=counter, failures=failures)
-                return ReduceOutcome(ok=True, node=owner_id, t_graph=t_graph,
+                self.finish_partition(length)
+                return ReduceOutcome(ok=True, node=winner_id, t_graph=t_graph,
                                      find_done=find_done, failures=failures,
                                      attempts=max(counter[0], 1))
             except _NodeLost:

@@ -15,7 +15,18 @@ class ConfigError(ReproError):
     """An invalid or inconsistent configuration value was supplied."""
 
 
-class DeviceMemoryError(ReproError, MemoryError):
+class DeviceError(ReproError):
+    """The virtual GPU's transfer/ownership contract was violated.
+
+    Raised for use-after-consume: an array surrendered to a zero-copy
+    ``to_device(consume=True)`` transfer is poisoned (read-only) and must
+    not be re-consumed or written through ``to_host(out=)`` — both would
+    alias memory the device now owns. The message names the owning
+    transfer so the offending call site is attributable.
+    """
+
+
+class DeviceMemoryError(DeviceError, MemoryError):
     """A device-memory allocation exceeded the virtual GPU's capacity.
 
     Mirrors a CUDA out-of-memory failure: the virtual device enforces its

@@ -119,8 +119,17 @@ class RunWriter:
 
     def _drain_tail(self) -> None:
         if self._tail:
-            self._handle.write(self._tail)
+            # Clear the tail *before* delivery: if an armed plan crashes or
+            # tears the write, the unwind path (close() also drains) must
+            # not re-deliver the same prefix. A plan arming mid-stream thus
+            # sees the buffered tail as one ordinary injectable write — a
+            # coalesced tail can never mask a scheduled torn write.
+            data = bytes(self._tail)
             self._tail.clear()
+            if faults.active():
+                faults.deliver_write(self.path, data, self._handle)
+            else:
+                self._handle.write(data)
 
     def close(self) -> None:
         """Finish the run; the path becomes available for reading."""
@@ -203,6 +212,25 @@ class RunReader:
     def read_all(self) -> np.ndarray:
         """Consume the entire remainder in one call (small runs only)."""
         return self.read(self.remaining)
+
+    def skip(self, n: int) -> int:
+        """Advance past ``n`` records without reading their bytes.
+
+        Used by chunk-checkpoint resume: a restarted (or speculating) node
+        seeks its sorted streams to the last durable chunk boundary instead
+        of re-reading the processed prefix. Charged as one seek, zero bytes
+        — exactly the cheap-recovery accounting the chunk ledger buys.
+        Returns the number of records actually skipped.
+        """
+        if self._handle.closed:
+            raise StreamProtocolError(f"{self.path}: skip after close")
+        n = min(n, self.remaining)
+        if n <= 0:
+            return 0
+        self._handle.seek(n * self.dtype.itemsize, os.SEEK_CUR)
+        self._consumed += n
+        self._pending_seek += 1
+        return n
 
     def close(self) -> None:
         """Release the path."""

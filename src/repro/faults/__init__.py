@@ -16,17 +16,17 @@
 
 from __future__ import annotations
 
-from .plan import (BITFLIP, CRASH, ENOSPC, FSYNC_LOSS, KINDS, LEDGER, MESSAGE,
-                   MSG_DELAY, MSG_DROP, NODE, NODE_CRASH, PHASE, READ, RENAME,
-                   SITES, TORN, WRITE, Fault, FaultEvent, FaultPlan,
-                   TracePoint, active, active_plan, barrier, clear_crash,
-                   crash_pending, crashed_scopes, deliver_message,
-                   deliver_write, filter_read, inject, ledger_write, node_op,
-                   note_phase, scoped)
+from .plan import (BITFLIP, CHUNK, CRASH, ENOSPC, FSYNC_LOSS, KINDS, LEDGER,
+                   MESSAGE, MSG_DELAY, MSG_DROP, NODE, NODE_CRASH, PHASE,
+                   READ, RENAME, SITES, TORN, WRITE, Fault, FaultEvent,
+                   FaultPlan, TracePoint, active, active_plan, barrier,
+                   clear_crash, crash_pending, crashed_scopes,
+                   deliver_message, deliver_write, filter_read, inject,
+                   ledger_write, node_op, note_phase, scoped)
 from .retry import RetryPolicy
 
 __all__ = [
-    "BITFLIP", "CRASH", "ENOSPC", "FSYNC_LOSS", "KINDS",
+    "BITFLIP", "CHUNK", "CRASH", "ENOSPC", "FSYNC_LOSS", "KINDS",
     "LEDGER", "MESSAGE", "MSG_DELAY", "MSG_DROP", "NODE", "NODE_CRASH",
     "PHASE", "READ", "RENAME", "SITES", "TORN", "WRITE",
     "Fault", "FaultEvent", "FaultPlan", "RetryPolicy", "TracePoint",

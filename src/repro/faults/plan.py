@@ -59,7 +59,8 @@ RENAME = "rename"    #: sort_file's atomic publish of a finished run
 PHASE = "phase"      #: pipeline phase boundaries (label = phase name)
 MESSAGE = "message"  #: active-message delivery (label = "src->dst:handler")
 NODE = "node"        #: distributed node-op boundaries (label = "scope:op")
-SITES = (WRITE, READ, LEDGER, RENAME, PHASE, MESSAGE, NODE)
+CHUNK = "chunk"      #: intra-partition chunk commits (label = "scope:op#index")
+SITES = (WRITE, READ, LEDGER, RENAME, PHASE, MESSAGE, NODE, CHUNK)
 
 #: Fault kinds that make sense per site (seeded plans draw from these).
 _SITE_KINDS = {
@@ -70,6 +71,7 @@ _SITE_KINDS = {
     PHASE: (CRASH,),
     MESSAGE: (MSG_DROP, MSG_DELAY, NODE_CRASH),
     NODE: (NODE_CRASH, CRASH),
+    CHUNK: (NODE_CRASH, CRASH),
 }
 
 #: Extra in-flight latency of a ``msg-delay`` fault with ``seconds=0``.
@@ -383,10 +385,17 @@ class FaultPlan:
         path.write_bytes(self._flip(payload, fault.offset))
 
     def barrier(self, site: str, label: str) -> None:
-        """Visit a payload-less crash point (rename, phase boundary)."""
+        """Visit a payload-less crash point (rename, phase, chunk commit).
+
+        Both whole-process ``crash`` and distributed ``node-crash`` kinds
+        die here: chunk-commit barriers sit inside node operations, where a
+        scheduled node death must land between finishing a chunk's work and
+        appending it to the ledger — the window the chunk protocol has to
+        survive.
+        """
         fault = self._visit(site, label)
-        if fault is not None and fault.kind == CRASH:
-            self._die(FaultEvent(self._op - 1, CRASH, site, label),
+        if fault is not None and fault.kind in (CRASH, NODE_CRASH):
+            self._die(FaultEvent(self._op - 1, fault.kind, site, label),
                       "crash at barrier")
 
     # -- node-level fault execution --------------------------------------------

@@ -25,8 +25,8 @@ from repro.errors import (ConfigError, DistributedProtocolError, FaultInjected,
 from repro.extmem import PartitionStore, RunReader, RunWriter
 from repro.extmem.merge import merge_streams_k
 from repro.extmem.records import kv_dtype, make_records
-from repro.faults import (CRASH, LEDGER, PHASE, READ, TORN, WRITE, CrashLoop,
-                          Fault, FaultPlan, inject, result_digest,
+from repro.faults import (BITFLIP, CRASH, LEDGER, PHASE, READ, TORN, WRITE,
+                          CrashLoop, Fault, FaultPlan, inject, result_digest,
                           scan_residue)
 from repro.seq.datasets import tiny_dataset
 
@@ -306,6 +306,79 @@ class TestDistributedToken:
             with pytest.raises(DistributedProtocolError, match="token lost"):
                 DistributedAssembler(strict, self.N_NODES).assemble(
                     md.store_path)
+
+
+class TestArmedPlanPausesStreamFastPaths:
+    """A plan arming mid-stream must pause the pooled I/O fast paths.
+
+    RunWriter coalesces sub-256KB appends in a tail buffer and RunReader
+    uses ``np.fromfile`` — both bypass the fault sites. The regression:
+    a plan armed *after* a stream opened (with a tail already buffered)
+    silently missed its scheduled faults, and crash unwinds re-delivered
+    the buffered prefix, breaking replay byte-identity.
+    """
+
+    def test_buffered_tail_is_one_injectable_write(self, tmp_path):
+        dtype = kv_dtype(1)
+        records = make_records(np.arange(10, dtype=np.uint64),
+                               np.zeros(10, dtype=np.uint32))
+        path = tmp_path / "x.run"
+        writer = RunWriter(path, dtype)
+        writer.append(records)  # coalesced: nothing OS-visible yet
+        assert path.stat().st_size == 0
+        plan = FaultPlan([Fault(TORN, site=WRITE, offset=4)])
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                writer.append(records)
+        # The tear landed on the *buffered tail*, proving the tail reached
+        # the fault site as one ordinary write the moment the plan armed.
+        assert [e.kind for e in plan.events] == [TORN]
+        writer.close()
+        # ...and the unwind (close also drains) did not re-deliver the
+        # cleared tail: exactly the torn prefix reached disk.
+        assert path.stat().st_size == 4
+
+    def test_armed_plan_routes_reads_through_filter(self, tmp_path):
+        dtype = kv_dtype(1)
+        path = tmp_path / "x.run"
+        keys = np.arange(20, dtype=np.uint64)
+        with RunWriter(path, dtype) as writer:
+            writer.append(make_records(keys, np.zeros(20, dtype=np.uint32)))
+        with RunReader(path, dtype) as reader:
+            first = reader.read(5)  # fast path: no plan armed
+            assert np.array_equal(first["key"], keys[:5])
+            plan = FaultPlan([Fault(BITFLIP, site=READ, offset=3)])
+            with inject(plan):
+                flipped = reader.read(5)
+            # The scheduled corruption fired, so the mid-run arming was
+            # honored (np.fromfile would have skipped filter_read).
+            assert [e.kind for e in plan.events] == [BITFLIP]
+            assert not np.array_equal(flipped["key"], keys[5:10])
+            rest = reader.read_all()  # fast path restored after disarm
+            assert np.array_equal(rest["key"], keys[10:])
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_seeded_chaos_through_coalesced_streams(self, chaos_data, config,
+                                                    tmp_path, seed):
+        """Regression seed: the crash loop's write/read faults must fire and
+        recover byte-identically even though the pipeline's hot paths
+        coalesce writes and fast-path reads when unfaulted."""
+        md, _ = chaos_data
+        golden = Assembler(config).assemble(md.store_path,
+                                            workdir=tmp_path / "golden",
+                                            resume=True)
+        workdir = tmp_path / "w"
+        plan = FaultPlan.seeded(seed + 101, 40)
+        with inject(plan):
+            try:
+                Assembler(config).assemble(md.store_path, workdir=workdir,
+                                           resume=True)
+            except FaultInjected:
+                plan.clear_crash()
+            resumed = Assembler(config).assemble(md.store_path,
+                                                 workdir=workdir, resume=True)
+        assert result_digest(resumed) == result_digest(golden)
+        assert scan_residue(workdir) == []
 
 
 class TestArmedPlanForcesSerial:

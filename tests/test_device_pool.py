@@ -20,7 +20,7 @@ from repro.core.map_phase import run_map
 from repro.core.sort_phase import run_sort
 from repro.device import VirtualGPU
 from repro.device.memory import BufferPool
-from repro.errors import ConfigError, DeviceMemoryError
+from repro.errors import ConfigError, DeviceError, DeviceMemoryError
 from repro.extmem.records import make_records
 from repro.seq.datasets import tiny_dataset
 from repro.seq.packing import PackedReadStore
@@ -85,6 +85,68 @@ class TestBufferPoolFreeList:
         assert pool.held_bytes == 0
         _, raw2 = pool.take(100, np.uint64)
         assert raw2 is not raw
+
+
+class TestGiveSizeClassRounding:
+    """`give` classification: the class a raw lands in must guarantee every
+    later `take` of that class fits inside the raw's real extent."""
+
+    def test_exact_power_of_two_keeps_its_own_class(self):
+        pool = BufferPool(1 << 20)
+        _, raw = pool.take(128, np.uint64)  # exactly 1024 bytes
+        assert raw.nbytes == 1024
+        pool.give(raw)
+        _, raw2 = pool.take(128, np.uint64)  # 1024-byte class again
+        assert raw2 is raw
+        counters = pool.counters()
+        assert counters["bufpool_hits"] == 1
+        assert counters["bufpool_misses"] == 1
+        assert counters["bufpool_recycled"] == 1
+
+    def test_just_under_power_of_two_rounds_down(self):
+        pool = BufferPool(1 << 20)
+        raw = np.empty(1023, dtype=np.uint8)  # foreign, non-pow2 extent
+        pool.give(raw)
+        assert pool.held_bytes == 1023
+        _, hit = pool.take(64, np.uint64)  # 512-byte class
+        assert hit is raw, "1023-byte raw must serve the 512 class"
+        _, miss = pool.take(128, np.uint64)  # 1024-byte class: never this raw
+        assert miss is not raw
+        counters = pool.counters()
+        assert counters["bufpool_hits"] == 1
+        assert counters["bufpool_misses"] == 1
+
+    def test_just_over_power_of_two_rounds_down_to_that_class(self):
+        pool = BufferPool(1 << 20)
+        raw = np.empty(1025, dtype=np.uint8)
+        pool.give(raw)
+        _, hit = pool.take(128, np.uint64)  # 1024-byte class fits in 1025
+        assert hit is raw
+        assert pool.counters()["bufpool_hits"] == 1
+
+    def test_sub_minimum_raws_are_dropped(self):
+        pool = BufferPool(1 << 20)
+        for nbytes in (0, 1, 255):
+            pool.give(np.empty(nbytes, dtype=np.uint8))
+        assert pool.held_bytes == 0
+        _, raw = pool.take(16, np.uint8)  # 256-byte class: a fresh miss
+        assert raw.nbytes == 256
+        counters = pool.counters()
+        assert counters["bufpool_misses"] == 1
+        assert counters["bufpool_hits"] == 0
+        assert counters["bufpool_recycled"] == 0
+
+    def test_read_only_raw_is_refused(self):
+        """A consumed (poisoned) raw must never re-enter the free list."""
+        pool = BufferPool(1 << 20)
+        _, raw = pool.take(100, np.uint64)
+        raw.setflags(write=False)
+        pool.give(raw)
+        assert pool.held_bytes == 0
+        assert pool.counters()["bufpool_recycled"] == 0
+        _, raw2 = pool.take(100, np.uint64)
+        assert raw2 is not raw
+        assert pool.counters()["bufpool_misses"] == 2
 
 
 def _device_workout(gpu: VirtualGPU, rng) -> np.ndarray:
@@ -189,6 +251,44 @@ class TestOwnershipTransfer:
         host[0] = 7
         assert darray.array[0] == 0
         assert host.flags.writeable
+
+    def test_reconsume_raises_typed_error_naming_owner(self):
+        gpu = VirtualGPU("K40", capacity_bytes=1 << 20)
+        host = np.arange(300, dtype=np.uint64)
+        gpu.to_device(host, label="merge-run-a", consume=True)
+        with pytest.raises(DeviceError, match="merge-run-a"):
+            gpu.to_device(host, label="again", consume=True)
+
+    def test_to_host_into_poisoned_array_raises_typed_error(self):
+        gpu = VirtualGPU("K40", capacity_bytes=1 << 20)
+        host = np.arange(300, dtype=np.uint64)
+        darray = gpu.to_device(host, label="merge-run-b", consume=True)
+        with pytest.raises(DeviceError, match="merge-run-b"):
+            gpu.to_host(darray, out=host)
+
+    def test_to_host_into_read_only_array_raises_typed_error(self):
+        gpu = VirtualGPU("K40", capacity_bytes=1 << 20)
+        darray = gpu.to_device(np.arange(300, dtype=np.uint64))
+        frozen = np.empty(300, dtype=np.uint64)
+        frozen.setflags(write=False)
+        with pytest.raises(DeviceError, match="read-only"):
+            gpu.to_host(darray, out=frozen)
+
+    def test_device_memory_error_is_a_device_error(self):
+        # Callers catching the new base class keep catching OOM too.
+        assert issubclass(DeviceMemoryError, DeviceError)
+
+    def test_poison_registry_does_not_pin_arrays(self):
+        import gc
+        import weakref
+
+        gpu = VirtualGPU("K40", capacity_bytes=1 << 20)
+        host = np.arange(300, dtype=np.uint64)
+        gpu.to_device(host, label="h2d", consume=True)
+        ref = weakref.ref(host)
+        del host
+        gc.collect()
+        assert ref() is None, "consume tracking kept the host array alive"
 
 
 def _map_sort_hashes(md, workdir, *, buffer_pool: bool, workers: int = 1,

@@ -17,8 +17,8 @@ from repro.distributed import (ActiveMessageLayer, DistributedAssembler,
                                NetworkSpec, node_scope)
 from repro.errors import (ConfigError, FaultInjected, MessageDropped,
                           RetryExhausted)
-from repro.faults import (MESSAGE, MSG_DELAY, MSG_DROP, NODE, NODE_CRASH,
-                          Fault, FaultPlan, RetryPolicy, inject)
+from repro.faults import (CHUNK, MESSAGE, MSG_DELAY, MSG_DROP, NODE,
+                          NODE_CRASH, Fault, FaultPlan, RetryPolicy, inject)
 from repro.faults.plan import DEFAULT_MSG_DELAY_S
 from repro.seq.datasets import tiny_dataset
 from repro.trace import (EVENTS_FILE, check_balanced, load_events,
@@ -355,6 +355,163 @@ class TestDegradedMode:
             AssemblyConfig(node_restarts=-1)
 
 
+# -- incremental chunk checkpoints (tentpole) -----------------------------------
+
+#: Shrunken device windows + a small chunk budget so the 600bp dataset's
+#: partitions span several chunks (~4 commits per partition, ~46 barriers).
+CHUNK_EVERY = 128
+CHUNK_DEVICE_BLOCK = 48
+
+
+@pytest.fixture(scope="module")
+def chunked_clean(resilience_data):
+    """A clean chunk-checkpointed run plus its chunk-barrier probe trace."""
+    config = AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                            device_block_pairs=CHUNK_DEVICE_BLOCK,
+                            chunk_checkpoint_every=CHUNK_EVERY)
+    plan = FaultPlan()
+    with inject(plan):
+        result = DistributedAssembler(config, N_NODES).assemble(
+            resilience_data.store_path)
+    chunk_points = [t for t in plan.trace if t.site == CHUNK]
+    return result, chunk_points
+
+
+class TestChunkCheckpoints:
+    def test_chunking_is_execution_only(self, clean_run, chunked_clean):
+        """Chunk commits change recovery cost, never a single output byte.
+
+        The chunked fixture also shrinks the device window; per-window
+        canonicalization makes the result byte-identical to the default
+        clean run regardless, so the comparison stays one golden identity.
+        """
+        clean, _ = clean_run
+        chunked, chunk_points = chunked_clean
+        assert _identity(chunked) == _identity(clean)
+        assert len(chunk_points) >= 24, "partitions never spanned chunks"
+        assert any(p.path.endswith("#3") for p in chunk_points), \
+            "no partition reached a fourth chunk"
+        assert chunked.notes["chunks_committed"] == len(chunk_points)
+        # A clean run resumes nothing and leaves no chunk rows behind.
+        assert "chunk_resumes" not in chunked.notes
+
+    def test_node_crash_at_every_chunk_boundary_recovers(
+            self, resilience_data, chunked_clean):
+        """The intra-partition kill-point sweep: byte-identical every time."""
+        chunked, chunk_points = chunked_clean
+        config = AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                                device_block_pairs=CHUNK_DEVICE_BLOCK,
+                                chunk_checkpoint_every=CHUNK_EVERY)
+        resumes = 0
+        for point in chunk_points:
+            plan = FaultPlan([Fault(NODE_CRASH, site=CHUNK, at_op=point.op)])
+            with inject(plan):
+                recovered = DistributedAssembler(config, N_NODES).assemble(
+                    resilience_data.store_path)
+            assert [e.kind for e in plan.events] == [NODE_CRASH], \
+                f"chunk kill-point {point.path} did not fire"
+            assert recovered.degraded is None
+            assert _identity(recovered) == _identity(chunked), \
+                f"crash at {point.path} changed the output"
+            assert recovered.notes["node_restarts"] >= 1
+            resumes += recovered.notes.get("chunk_resumes", 0)
+        # Crashing past the first boundary leaves durable chunks to skip, so
+        # the sweep as a whole must exercise the resume path.
+        assert resumes >= 1
+
+
+# -- speculative re-execution (tentpole) -----------------------------------------
+
+
+class TestSpeculation:
+    def _config(self) -> AssemblyConfig:
+        return AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                              speculation_threshold=0.25)
+
+    def test_backup_race_is_byte_identical(self, resilience_data, clean_run):
+        clean, node_ops = clean_run
+        reduce_op = next(p.op for p in node_ops if ":reduce[" in p.path)
+        plan = FaultPlan([Fault(NODE_CRASH, site=NODE, at_op=reduce_op)])
+        with inject(plan):
+            result = DistributedAssembler(self._config(), N_NODES).assemble(
+                resilience_data.store_path)
+        assert result.degraded is None
+        assert _identity(result) == _identity(clean)
+        # The dead owner's partition was raced: exactly one contender won
+        # and every losing contender is accounted as waste, not output.
+        assert result.notes["speculations"] >= 1
+        assert result.notes.get("speculation_wins", 0) \
+            + result.notes.get("speculation_losses", 0) \
+            == result.notes["speculations"]
+
+    def test_speculation_is_deterministic(self, resilience_data, clean_run):
+        _, node_ops = clean_run
+        reduce_op = next(p.op for p in node_ops if ":reduce[" in p.path)
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan([Fault(NODE_CRASH, site=NODE, at_op=reduce_op)])
+            with inject(plan):
+                runs.append(DistributedAssembler(
+                    self._config(), N_NODES).assemble(
+                        resilience_data.store_path))
+        assert runs[0].token_trace == runs[1].token_trace
+        assert runs[0].notes == runs[1].notes
+        assert _identity(runs[0]) == _identity(runs[1])
+
+    def test_threshold_zero_never_speculates(self, resilience_data, config,
+                                             clean_run):
+        _, node_ops = clean_run
+        reduce_op = next(p.op for p in node_ops if ":reduce[" in p.path)
+        plan = FaultPlan([Fault(NODE_CRASH, site=NODE, at_op=reduce_op)])
+        with inject(plan):
+            result = DistributedAssembler(config, N_NODES).assemble(
+                resilience_data.store_path)
+        assert "speculations" not in result.notes
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            AssemblyConfig(speculation_threshold=-1.0)
+        with pytest.raises(ConfigError):
+            AssemblyConfig(heartbeat_interval=0.5, node_timeout=2.0,
+                           speculation_threshold=0.25)
+
+
+# -- elastic membership (tentpole) -----------------------------------------------
+
+
+class TestElasticMembership:
+    def test_joins_require_allow_join(self, config):
+        with pytest.raises(ConfigError, match="allow_join"):
+            DistributedAssembler(config, 2, joins=(1,))
+
+    def test_negative_join_hop_rejected(self):
+        joinable = AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                                  allow_join=True)
+        with pytest.raises(ConfigError):
+            DistributedAssembler(joinable, 2, joins=(-1,))
+
+    def test_mid_run_join_is_byte_identical(self, resilience_data, clean_run):
+        clean, _ = clean_run
+        joinable = AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                                  allow_join=True)
+        result = DistributedAssembler(joinable, N_NODES,
+                                      joins=(1,)).assemble(
+                                          resilience_data.store_path)
+        assert result.degraded is None
+        assert _identity(result) == _identity(clean)
+        assert result.notes["nodes_joined"] == 1
+        assert result.notes["join_rebalanced"] >= 1
+        # The joiner (node id == mapping-time node count) really took over
+        # partitions: the token visits it like any founding member.
+        joiner_hops = [e for e in result.token_trace
+                       if e["ok"] and e["node"] == N_NODES]
+        assert len(joiner_hops) >= 1
+        ok_lengths = [e["length"] for e in result.token_trace if e["ok"]]
+        assert sorted(ok_lengths) == sorted(set(ok_lengths))
+        assert sorted(ok_lengths) == sorted(
+            e["length"] for e in clean.token_trace)
+
+
 # -- tracing -------------------------------------------------------------------
 
 
@@ -382,6 +539,37 @@ class TestTracedResilience:
             result.notes["backoff_s"])
         assert counts["token_retries"] >= 1
         assert counts["nodes_lost"] == counts["partitions_dropped"] == 0
+
+    def test_speculation_spans_counted(self, resilience_data, tmp_path,
+                                       clean_run):
+        _, node_ops = clean_run
+        reduce_op = next(p.op for p in node_ops if ":reduce[" in p.path)
+        trace_dir = tmp_path / "trace"
+        traced = AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                                trace=str(trace_dir),
+                                speculation_threshold=0.25)
+        plan = FaultPlan([Fault(NODE_CRASH, site=NODE, at_op=reduce_op)])
+        with inject(plan):
+            result = DistributedAssembler(traced, N_NODES).assemble(
+                resilience_data.store_path)
+        events = load_events(trace_dir / EVENTS_FILE)
+        check_balanced(events)
+        counts = resilience_events(events)
+        assert counts["speculations"] == result.notes["speculations"] >= 1
+        assert counts["speculation_wins"] + counts["speculation_losses"] \
+            == counts["speculations"]
+        assert counts["speculation_wasted_sim_s"] >= 0.0
+
+    def test_join_spans_counted(self, resilience_data, tmp_path):
+        trace_dir = tmp_path / "trace"
+        traced = AssemblyConfig(min_overlap=MIN_OVERLAP, seed=7,
+                                trace=str(trace_dir), allow_join=True)
+        result = DistributedAssembler(traced, N_NODES, joins=(1,)).assemble(
+            resilience_data.store_path)
+        events = load_events(trace_dir / EVENTS_FILE)
+        check_balanced(events)
+        counts = resilience_events(events)
+        assert counts["nodes_joined"] == result.notes["nodes_joined"] == 1
 
     def test_clean_run_emits_no_resilience_events(self, resilience_data,
                                                   tmp_path):
