@@ -9,14 +9,22 @@ Drives the :mod:`repro.service` scheduler with the seeded traffic mix from
 
 and reports jobs/sec for each, the warm hit rate, and whether cached runs
 stayed byte-identical to the uncached baseline (contigs *and* checkpoint
-ledgers). Results land in ``benchmarks/results/BENCH_service.json``::
+ledgers). Two more serial passes exercise the failure ladder: **faulted**
+re-runs the mix with a seeded crash injected inside a job body (the retry
+must converge byte-identically) and **shed** bounds the queue so load
+shedding fires. Results land in
+``benchmarks/results/BENCH_service.json``::
 
     {"cpu_count": ..., "mode": "full"|"smoke", "seed": ...,
      "jobs": ..., "sources": ..., "max_parallel": ...,
      "runs": {"uncached": {...}, "cold": {...}, "warm": {...}},
      "warm_speedup": ..., "hit_rate": ...,
      "byte_identical_contigs": true, "byte_identical_ledgers": true,
-     "fairness": {"alice": {...}, "bob": {...}}}
+     "fairness": {"alice": {...}, "bob": {...}},
+     "resilience": {"crash_op": ..., "job_retries": ...,
+                    "retry_backoff_sim_s": ..., "jobs_quarantined": ...,
+                    "byte_identical_after_retry": true,
+                    "shed_bound": ..., "admission_shed": ...}}
 
 ``--smoke`` shrinks the mix so CI can exercise the scheduler and cache
 paths in seconds; it is a plumbing check, not a measurement.
@@ -32,6 +40,7 @@ import argparse
 import hashlib
 import json
 import os
+import random
 import sys
 import tempfile
 from pathlib import Path
@@ -40,6 +49,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import ServiceConfig
 from repro.core.checkpoint import STATE_FILE
+from repro.faults import FaultPlan, inject
 from repro.service import (AssemblyService, TrafficMix, build_sources,
                            generate_jobs)
 
@@ -62,7 +72,7 @@ def _ledgers(report) -> dict:
 
 
 def _run(root: Path, jobs, name: str, *, cache: bool,
-         max_parallel: int):
+         max_parallel: int, **overrides):
     config = ServiceConfig(
         workdir=str(root / name),
         cache_dir=str(root / "cache") if cache else "",
@@ -71,6 +81,7 @@ def _run(root: Path, jobs, name: str, *, cache: bool,
         device_budget_bytes=64 << 20,
         max_parallel=max_parallel,
         tenant_weights={"alice": 2.0},
+        **overrides,
     )
     return AssemblyService(config).run_jobs(jobs)
 
@@ -118,6 +129,23 @@ def main(argv: list[str] | None = None) -> int:
         identical_ledgers = all(_ledgers(r) == baseline_ledgers
                                 for r in (cold, warm))
 
+        # Failure-ladder passes (serial: injected faults and their retries
+        # must be exactly reproducible). First probe the op space of a
+        # clean run, then crash inside a job body at a seeded op.
+        probe_plan = FaultPlan()
+        with inject(probe_plan):
+            probe = _run(root, jobs, "probe", cache=False, max_parallel=1)
+        crash_op = random.Random(SEED).randrange(1, probe_plan.ops_seen)
+        with inject(FaultPlan.crash_at(crash_op)):
+            faulted = _run(root, jobs, "faulted", cache=False,
+                           max_parallel=1, job_max_attempts=3)
+        retry_identical = _contigs(faulted) == _contigs(probe)
+        # Only single-flight leaders occupy queue slots (one per distinct
+        # source), so the bound must undercut the source count to shed.
+        shed_bound = max(1, mix.n_sources // 2)
+        shed = _run(root, jobs, "shed", cache=False, max_parallel=1,
+                    max_queued=shed_bound)
+
     speedup = (warm.jobs_per_second / cold.jobs_per_second
                if cold.jobs_per_second else 0.0)
     payload = {
@@ -137,6 +165,17 @@ def main(argv: list[str] | None = None) -> int:
         "fairness": {t.tenant: {"weight": t.weight, "jobs": t.jobs,
                                 "served_units": t.served_units}
                      for t in warm.tenants.values()},
+        "resilience": {
+            "crash_op": crash_op,
+            "job_retries": int(faulted.counters.get("job_retries", 0)),
+            "retry_backoff_sim_s": round(
+                faulted.counters.get("retry_backoff_sim_s", 0.0), 6),
+            "jobs_quarantined": int(
+                faulted.counters.get("jobs_quarantined", 0)),
+            "byte_identical_after_retry": retry_identical,
+            "shed_bound": shed_bound,
+            "admission_shed": int(shed.counters.get("admission_shed", 0)),
+        },
     }
 
     for name, entry in payload["runs"].items():
@@ -146,8 +185,17 @@ def main(argv: list[str] | None = None) -> int:
     print(f"warm speedup {speedup:.2f}x, hit rate {warm.hit_rate:.2%}, "
           f"contigs identical={identical_contigs}, "
           f"ledgers identical={identical_ledgers}")
+    resilience = payload["resilience"]
+    print(f"faulted (crash at op {crash_op}): "
+          f"{resilience['job_retries']} retries, "
+          f"{resilience['jobs_quarantined']} quarantined, "
+          f"identical after retry={retry_identical}; "
+          f"shed {resilience['admission_shed']} jobs at "
+          f"max_queued={shed_bound}")
     if not (identical_contigs and identical_ledgers):
         print("WARNING: cached runs diverged from the uncached baseline")
+    if not retry_identical:
+        print("WARNING: retried run diverged from the clean baseline")
     if warm.hit_rate <= 0.0:
         print("WARNING: warm run had no cache hits")
 

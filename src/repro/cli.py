@@ -193,7 +193,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if not sep:
                 tenant, path = "default", item
             specs.append(JobSpec(f"job{len(specs):03d}", tenant, path,
-                                 job_config))
+                                 job_config, deadline_s=args.deadline))
     service = AssemblyService(ServiceConfig(
         max_parallel=args.max_parallel,
         host_budget_bytes=parse_size(args.host_budget),
@@ -204,14 +204,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_max_jobs=args.batch_max_jobs,
         tenant_weights=weights,
         workdir=args.workdir or "",
+        job_max_attempts=args.job_max_attempts,
+        job_retry_backoff_s=args.job_retry_backoff,
+        max_queued=args.max_queued,
     ))
     report = service.run_jobs(specs)
     print(report.summary())
     for outcome in report.outcomes:
         if not outcome.ok:
-            print(f"  {outcome.spec.job_id} ({outcome.spec.tenant}) FAILED: "
-                  f"{outcome.error}")
-    return 0 if report.n_failed == 0 else 1
+            print(f"  {outcome.spec.job_id} ({outcome.spec.tenant}) "
+                  f"{outcome.status.upper()}: {outcome.error}")
+    # Exit codes grade the failure: 2 = poison jobs were quarantined (an
+    # operator should look at the error chains), 1 = other failures or
+    # service-interrupted jobs, 0 = everything completed.
+    if report.n_quarantined:
+        return 2
+    if report.n_done < len(report.outcomes):
+        return 1
+    return 0
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -403,6 +413,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "default 1.0)")
     serve.add_argument("--workdir",
                        help="root for per-job workdirs (default: temp)")
+    serve.add_argument("--job-max-attempts", type=int, default=1,
+                       help="executions a failing job may burn before it is "
+                            "quarantined (1 = no retries)")
+    serve.add_argument("--job-retry-backoff", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="base simulated-seconds backoff before a retry "
+                            "(seeded-jitter exponential schedule)")
+    serve.add_argument("--deadline", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="per-job simulated-clock deadline; jobs past it "
+                            "time out at the next phase boundary (0 = none)")
+    serve.add_argument("--max-queued", type=int, default=0,
+                       help="queue-depth bound; excess jobs are shed with an "
+                            "admission_shed outcome (0 = unbounded)")
     serve.set_defaults(func=_cmd_serve)
 
     model = sub.add_parser("model", help="analytic paper-scale phase times")

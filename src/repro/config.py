@@ -400,6 +400,20 @@ class ServiceConfig:
     workdir:
         Root directory for per-job workdirs and reports ("" = a temp dir
         owned, and removed, by the service).
+    job_max_attempts:
+        Executions granted per job before it is quarantined. ``1`` (the
+        default) quarantines on first failure; higher values re-queue a
+        failed job through admission, so its budget demand is re-acquired
+        fairly rather than held across the backoff.
+    job_retry_backoff_s:
+        Base backoff before a job's first retry; doubles per attempt with
+        seeded jitter (the same :class:`repro.faults.RetryPolicy` schedule
+        the distributed supervisor uses, keyed by job id and charged to
+        the simulated clock — deterministic per seed).
+    max_queued:
+        Queue-depth bound for load shedding: whenever more jobs than this
+        are queued, the lowest-weight queued jobs are shed with a typed
+        ``admission_shed`` outcome until the bound holds (0 = unbounded).
     """
 
     max_parallel: int = 1
@@ -411,6 +425,9 @@ class ServiceConfig:
     batch_max_jobs: int = 4
     tenant_weights: Mapping[str, float] = field(default_factory=dict)
     workdir: str = ""
+    job_max_attempts: int = 1
+    job_retry_backoff_s: float = 0.05
+    max_queued: int = 0
 
     def __post_init__(self) -> None:
         if self.max_parallel < 1:
@@ -427,6 +444,12 @@ class ServiceConfig:
             if weight <= 0:
                 raise ConfigError(
                     f"tenant weight must be positive ({tenant!r}: {weight})")
+        if self.job_max_attempts < 1:
+            raise ConfigError("job_max_attempts must be >= 1")
+        if self.job_retry_backoff_s < 0:
+            raise ConfigError("job_retry_backoff_s must be >= 0")
+        if self.max_queued < 0:
+            raise ConfigError("max_queued must be >= 0 (0 = unbounded)")
 
     def weight(self, tenant: str) -> float:
         """Fair-share weight of ``tenant`` (1.0 unless configured)."""

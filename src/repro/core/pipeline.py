@@ -55,7 +55,7 @@ class Assembler:
 
     def __init__(self, config: AssemblyConfig | None = None, *,
                  disk: DiskSpec | None = None, host: HostSpec | None = None,
-                 content_store=None):
+                 content_store=None, phase_hook=None):
         self.config = config if config is not None else AssemblyConfig()
         self.disk = disk
         self.host = host
@@ -64,6 +64,15 @@ class Assembler:
         #: key — identical phase inputs across jobs, tenants and
         #: re-submissions are served from cache instead of recomputed.
         self.content_store = content_store
+        #: Optional ``hook(boundary, sim_seconds)`` called before the first
+        #: phase (``boundary="start"``) and after each phase completes
+        #: (``boundary=<phase name>``) with the run's accrued simulated
+        #: seconds. The assembly service injects cooperative cancellation
+        #: and deadline checks here: the hook raises
+        #: :class:`~repro.errors.JobCancelled` /
+        #: :class:`~repro.errors.JobDeadlineExceeded` to stop the run at a
+        #: deterministic (modeled-clock) boundary.
+        self.phase_hook = phase_hook
 
     def assemble(self, source: str | Path | PackedReadStore, *,
                  workdir: str | Path | None = None,
@@ -107,28 +116,34 @@ class Assembler:
              gfa_path=None) -> AssemblyResult:
         if manager is not None:
             self._validate_checkpoints(ctx, manager)
+        self._boundary(ctx, "start")
         faults.note_phase("load")
         with ctx.telemetry.phase("load"):
             store = self._load(ctx, source, manager)
         try:
             faults.barrier(faults.PHASE, "load")
+            self._boundary(ctx, "load")
             faults.note_phase("map")
             with ctx.telemetry.phase("map"):
                 partitions, map_report = self._map(ctx, store, manager)
             faults.barrier(faults.PHASE, "map")
+            self._boundary(ctx, "map")
             faults.note_phase("sort")
             with ctx.telemetry.phase("sort"):
                 sort_report = self._sort(ctx, partitions, manager)
             faults.barrier(faults.PHASE, "sort")
+            self._boundary(ctx, "sort")
             faults.note_phase("reduce")
             with ctx.telemetry.phase("reduce"):
                 graph, reduce_report = self._reduce(ctx, partitions, store, manager)
             faults.barrier(faults.PHASE, "reduce")
+            self._boundary(ctx, "reduce")
             faults.note_phase("compress")
             with ctx.telemetry.phase("compress"):
                 contigs, paths = run_compress(ctx, graph, store,
                                               release_graph=gfa_path is None)
             faults.barrier(faults.PHASE, "compress")
+            self._boundary(ctx, "compress")
             if gfa_path is not None:
                 from ..graph.gfa import write_gfa
 
@@ -148,6 +163,17 @@ class Assembler:
             n_paths=paths.n_paths,
             paths=paths,
         )
+
+    def _boundary(self, ctx: RunContext, name: str) -> None:
+        """Give the phase hook a deterministic stop point.
+
+        Runs *outside* the telemetry phase contexts (a raised
+        ``JobCancelled``/``JobDeadlineExceeded`` must not mark a phase
+        failed) and after the fault barrier, so injected crashes and
+        cooperative stops at the same boundary keep their relative order.
+        """
+        if self.phase_hook is not None:
+            self.phase_hook(name, ctx.clock.total_seconds)
 
     def _validate_checkpoints(self, ctx: RunContext,
                               manager: CheckpointManager) -> None:

@@ -80,6 +80,44 @@ class RetryExhausted(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for assembly-service (``repro.service``) failures.
+
+    Distinguishes service-layer conditions — admission decisions, job
+    lifecycle control — from pipeline errors: a caller of
+    :meth:`~repro.service.AssemblyService.run` can treat a
+    :class:`ServiceError` as "the service refused or interrupted the job"
+    rather than "the assembly itself broke".
+    """
+
+
+class AdmissionError(ServiceError):
+    """A job submission was invalid (e.g. duplicate job ids in one batch).
+
+    Raised before any job executes; the submitter fixes the batch and
+    retries. Distinct from per-job ``admission_rejected``/``admission_shed``
+    outcomes, which fail individual jobs without aborting the batch.
+    """
+
+
+class JobCancelled(ServiceError):
+    """A job observed its cancellation request at a phase boundary.
+
+    Cooperative: :meth:`~repro.service.AssemblyService.cancel` only sets a
+    flag, and the job's pipeline raises this at its next phase boundary.
+    Maps to the ``"cancelled"`` job outcome — never to ``"failed"``.
+    """
+
+
+class JobDeadlineExceeded(ServiceError):
+    """A job's simulated-clock budget (``JobSpec.deadline_s``) ran out.
+
+    Checked at phase boundaries against the job's own modeled seconds, so
+    the same seed and config time out at exactly the same boundary. Maps
+    to the ``"timed_out"`` job outcome — never to ``"failed"``.
+    """
+
+
 class TraceError(ReproError):
     """A span trace is malformed (unbalanced events, bad Perfetto JSON)."""
 

@@ -15,7 +15,8 @@ Public surface:
 """
 
 from .content_store import CacheEntry, ContentStore, phase_key
-from .jobs import JobOutcome, JobSpec, ServiceReport, TenantReport
+from .jobs import (STATUSES, JobOutcome, JobSpec, QuarantineEntry,
+                   ServiceReport, TenantReport)
 from .scheduler import AssemblyService, JobQueue
 from .traffic import TrafficMix, build_sources, default_job_config, generate_jobs
 
@@ -26,6 +27,8 @@ __all__ = [
     "JobOutcome",
     "JobQueue",
     "JobSpec",
+    "QuarantineEntry",
+    "STATUSES",
     "ServiceReport",
     "TenantReport",
     "TrafficMix",

@@ -84,11 +84,14 @@ def build_sources(root: str | Path, mix: TrafficMix) -> list[Path]:
 
 
 def generate_jobs(sources: list[Path], mix: TrafficMix,
-                  config: AssemblyConfig | None = None) -> list[JobSpec]:
+                  config: AssemblyConfig | None = None, *,
+                  deadline_s: float = 0.0) -> list[JobSpec]:
     """Draw the mix's job sequence over pre-built ``sources``.
 
     Tenant and source choices come from one seeded generator; job ids are
-    ``job000, job001, …`` in submission order.
+    ``job000, job001, …`` in submission order. ``deadline_s`` (simulated
+    seconds, 0 = none) applies uniformly — chaos harnesses use it to put
+    the whole mix on a clock without changing the drawn sequence.
     """
     if len(sources) < mix.n_sources:
         raise ConfigError(f"mix wants {mix.n_sources} sources, "
@@ -99,5 +102,6 @@ def generate_jobs(sources: list[Path], mix: TrafficMix,
     for index in range(mix.n_jobs):
         tenant = mix.tenants[int(rng.integers(0, len(mix.tenants)))]
         source = sources[int(rng.integers(0, mix.n_sources))]
-        jobs.append(JobSpec(f"job{index:03d}", tenant, source, config))
+        jobs.append(JobSpec(f"job{index:03d}", tenant, source, config,
+                            deadline_s=deadline_s))
     return jobs

@@ -7,7 +7,8 @@ See :mod:`repro.trace.tracer` for the recording side,
 
 from .analysis import (TraceSummary, TrackSummary, cache_events,
                        check_balanced, load_events, reconcile,
-                       resilience_events, summarize, validate_perfetto)
+                       resilience_events, service_resilience_events,
+                       summarize, validate_perfetto)
 from .perfetto import build_perfetto, pair_spans
 from .tracer import (EVENTS_FILE, MANIFEST_FILE, NULL_TRACER, PERFETTO_FILE,
                      PERFETTO_SIM_FILE, TRACE_FORMAT_VERSION, BoundTracer,
@@ -31,6 +32,7 @@ __all__ = [
     "summarize",
     "reconcile",
     "resilience_events",
+    "service_resilience_events",
     "validate_perfetto",
     "TraceSummary",
     "TrackSummary",

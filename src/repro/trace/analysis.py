@@ -240,6 +240,57 @@ def cache_events(events: str | Path | Iterable[Mapping]) -> dict:
     return counts
 
 
+def service_resilience_events(events: str | Path | Iterable[Mapping]) -> dict:
+    """Aggregate the service failure-ladder instrumentation from an event log.
+
+    The :class:`~repro.service.AssemblyService` scheduler emits instants on
+    the ``service`` track for every rung of its failure ladder (retry,
+    cancellation, deadline, promotion, quarantine, shedding); this rolls
+    them up into the shape the service-chaos CI leg and the service
+    benchmark report on::
+
+        {"job_retries": int, "retry_backoff_sim_s": float,
+         "cancelled": int, "timed_out": int, "leaders_promoted": int,
+         "quarantined": int, "quarantine_hits": int,
+         "admission_shed": int, "drain_shed": int}
+
+    A clean, un-drained run yields all zeros — the fast path emits none
+    of these markers (``job-start``/``job-done`` are not ladder events).
+    """
+    if isinstance(events, (str, Path)):
+        events = load_events(events)
+    counts = {
+        "job_retries": 0, "retry_backoff_sim_s": 0.0,
+        "cancelled": 0, "timed_out": 0, "leaders_promoted": 0,
+        "quarantined": 0, "quarantine_hits": 0,
+        "admission_shed": 0, "drain_shed": 0,
+    }
+    markers = {
+        "job-cancelled": "cancelled",
+        "job-timed-out": "timed_out",
+        "leader-promoted": "leaders_promoted",
+        "quarantined": "quarantined",
+        "quarantine-hit": "quarantine_hits",
+    }
+    spans, _unmatched = pair_spans(events)
+    for span in spans:
+        if span["track"] != "service":
+            continue
+        name = span["name"]
+        if name == "job-retry":
+            counts["job_retries"] += 1
+            counts["retry_backoff_sim_s"] += \
+                float(span["args"].get("backoff_s", 0.0))
+        elif name == "shed":
+            # The ``reason`` arg carries the shed class (the meter key).
+            reason = span["args"].get("reason")
+            counts["admission_shed" if reason == "admission_shed"
+                   else "drain_shed"] += 1
+        elif name in markers:
+            counts[markers[name]] += 1
+    return counts
+
+
 def reconcile(summary: TraceSummary, telemetry: Telemetry, *,
               wall_tol_s: float = 1e-3,
               overlap_tol_s: float = 1e-6) -> dict:

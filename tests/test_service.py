@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import AssemblyConfig, MemoryConfig, ServiceConfig
-from repro.errors import ConfigError, ReproError
+from repro.errors import AdmissionError, ConfigError
 from repro.seq.simulate import ReadSimulator, simulate_genome
 from repro.service import AssemblyService, JobQueue, JobSpec
 from repro.telemetry import PhaseStats, Telemetry
@@ -163,24 +163,36 @@ def test_execution_only_knobs_still_dedup(tmp_path, sources):
     assert report.counters["singleflight_joined"] == 1
 
 
-def test_failed_leader_fails_its_followers(tmp_path):
+def test_failed_leader_promotes_its_follower(tmp_path):
+    """A dead single-flight leader's follower is promoted, not failed.
+
+    Both jobs run a degenerate input, so the promoted follower dies too —
+    but it dies on *its own* execution (with its own error chain), instead
+    of inheriting the leader's failure without ever running.
+    """
     missing = tmp_path / "never-written.fastq"
     missing.write_bytes(b"@r\nACGT\n+\nIIII\n")  # readable but degenerate
     service = _service(tmp_path)
     config = _job_config()
     report = service.run_jobs([JobSpec("a", "t", missing, config),
                                JobSpec("b", "t", missing, config)])
-    assert report.counters["pipeline_runs"] == 1
-    statuses = {o.spec.job_id: o.status for o in report.outcomes}
-    assert statuses["a"] == statuses["b"]
+    assert report.counters["pipeline_runs"] == 2
+    assert report.counters["leader_promoted"] == 1
     leader, follower = report.outcomes
-    assert follower.joined == "a" and follower.error == leader.error
+    assert leader.status == "quarantined" and leader.executed
+    assert follower.status == "quarantined" and follower.executed
+    assert follower.promoted_from == "a" and follower.joined is None
+    assert leader.attempts == 1 and follower.attempts == 1
+    assert follower.error_chain  # its own attempt's error, not the leader's
+    assert {entry.job_id for entry in report.quarantine} == {"a", "b"}
 
 
 def test_duplicate_job_ids_rejected(tmp_path, sources):
     service = _service(tmp_path)
     config = _job_config()
-    with pytest.raises(ReproError, match="duplicate job id"):
+    # AdmissionError subclasses ServiceError subclasses ReproError, so
+    # pre-existing catch-all handlers keep working.
+    with pytest.raises(AdmissionError, match="duplicate job id"):
         service.run_jobs([JobSpec("same", "t", sources[0], config),
                           JobSpec("same", "t", sources[1], config)])
 
